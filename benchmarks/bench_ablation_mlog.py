@@ -1,0 +1,54 @@
+"""Ablation: batched circular metadata log vs per-update persistence.
+
+DESIGN.md decision 2: LeavO persists each metadata update individually,
+KDD batches a page's worth through NVRAM.  This bench isolates the
+metadata write overhead of the two protocols on the same access stream.
+"""
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.harness.runner import simulate_policy
+from repro.traces import make_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_workload("Hm0", scale=BENCH_SCALE)
+
+
+def test_metadata_overhead_kdd_vs_leavo(trace, benchmark):
+    cache = int(trace.stats().unique_pages * 0.10)
+
+    def run_both():
+        kdd = simulate_policy("kdd", trace, cache, seed=1)
+        leavo = simulate_policy("leavo", trace, cache, seed=1)
+        return kdd, leavo
+
+    kdd, leavo = benchmark.pedantic(run_both, rounds=1, iterations=1,
+                                    warmup_rounds=0)
+    benchmark.extra_info["kdd_meta_writes"] = kdd.stats.meta_writes
+    benchmark.extra_info["leavo_meta_writes"] = leavo.stats.meta_writes
+    benchmark.extra_info["kdd_meta_pct"] = round(100 * kdd.meta_fraction, 2)
+    # KDD's log batches ~341 entries per page; LeavO persists every update.
+    assert kdd.stats.meta_writes < leavo.stats.meta_writes / 5
+    # Figure 4's bound: metadata stays a small fraction of cache writes.
+    assert kdd.meta_fraction < 0.05
+
+
+@pytest.mark.parametrize("frac", [0.0039, 0.0098])
+def test_partition_size_tradeoff(trace, benchmark, frac):
+    """Smaller partitions GC more; both stay cheap (Figure 4)."""
+    cache = int(trace.stats().unique_pages * 0.20)
+    r = benchmark.pedantic(
+        lambda: simulate_policy(
+            "kdd", trace, cache, seed=1, meta_partition_frac=frac
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["meta_partition_frac"] = frac
+    benchmark.extra_info["meta_pct"] = round(100 * r.meta_fraction, 3)
+    benchmark.extra_info["mlog_gc_pages"] = r.extras["mlog_gc_pages"]
+    assert r.meta_fraction < 0.05

@@ -1,0 +1,41 @@
+"""Ablation: simple reclamation vs merge-and-keep (Section III-D).
+
+The paper considers two ways to reclaim old/delta pages after a parity
+repair: (1) merge old+delta into the latest data and keep it cached as
+clean, or (2) simply drop the old page.  It picks (2) because victims
+are usually cold and the merge costs extra cache writes.  This bench
+measures both on the same stream.
+"""
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.harness.runner import simulate_policy
+from repro.traces import make_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_workload("Fin1", scale=BENCH_SCALE)
+
+
+def test_reclaim_simple_vs_merge(trace, benchmark):
+    cache = int(trace.stats().unique_pages * 0.10)
+
+    def run_both():
+        simple = simulate_policy("kdd", trace, cache, seed=1)
+        merge = simulate_policy(
+            "kdd", trace, cache, seed=1, policy_kwargs={"reclaim_merge": True}
+        )
+        return simple, merge
+
+    simple, merge = benchmark.pedantic(run_both, rounds=1, iterations=1,
+                                       warmup_rounds=0)
+    benchmark.extra_info["simple_ssd_writes"] = simple.ssd_write_pages
+    benchmark.extra_info["merge_ssd_writes"] = merge.ssd_write_pages
+    benchmark.extra_info["simple_hit"] = round(simple.hit_ratio, 4)
+    benchmark.extra_info["merge_hit"] = round(merge.hit_ratio, 4)
+    # the merge scheme always costs extra cache writes...
+    assert merge.ssd_write_pages > simple.ssd_write_pages
+    # ...for at best a marginal hit-ratio benefit (the paper's argument)
+    assert merge.hit_ratio - simple.hit_ratio < 0.10

@@ -1,0 +1,64 @@
+"""Extension bench: KDD over RAID-6 (the paper's design covers RAID-5/6).
+
+RAID-6 small writes cost 3 reads + 3 writes (data, P, Q), so delaying
+parity buys even more than on RAID-5: a write hit still costs one
+member write.  This bench verifies the benefit *grows* with the number
+of parity devices.
+"""
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.harness.runner import make_raid_for_trace, simulate_policy
+from repro.raid import RaidLevel
+from repro.traces import make_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_workload("Fin1", scale=BENCH_SCALE)
+
+
+def member_ios(trace, level, ndisks, policy, benchmark=None):
+    raid = make_raid_for_trace(trace, level=level, ndisks=ndisks)
+    cache = int(trace.stats().unique_pages * 0.10)
+    run = lambda: simulate_policy(policy, trace, cache, raid=raid, seed=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0) if benchmark else run()
+    return result, raid.counters.total
+
+
+def test_kdd_on_raid6(trace, benchmark):
+    kdd6, kdd6_ios = member_ios(trace, RaidLevel.RAID6, 6, "kdd", benchmark)
+    nossd6, nossd6_ios = member_ios(trace, RaidLevel.RAID6, 6, "nossd")
+    benchmark.extra_info["kdd_member_ios"] = kdd6_ios
+    benchmark.extra_info["nossd_member_ios"] = nossd6_ios
+    # KDD must cut member I/O on RAID-6 as it does on RAID-5
+    assert kdd6_ios < nossd6_ios
+
+
+def test_raid6_benefit_exceeds_raid5(trace, benchmark):
+    def run_both():
+        _, k5 = member_ios(trace, RaidLevel.RAID5, 5, "kdd")
+        _, n5 = member_ios(trace, RaidLevel.RAID5, 5, "nossd")
+        _, k6 = member_ios(trace, RaidLevel.RAID6, 6, "kdd")
+        _, n6 = member_ios(trace, RaidLevel.RAID6, 6, "nossd")
+        return k5, n5, k6, n6
+
+    k5, n5, k6, n6 = benchmark.pedantic(run_both, rounds=1, iterations=1,
+                                        warmup_rounds=0)
+    saving5 = 1 - k5 / n5
+    saving6 = 1 - k6 / n6
+    benchmark.extra_info["raid5_member_io_saving"] = round(saving5, 4)
+    benchmark.extra_info["raid6_member_io_saving"] = round(saving6, 4)
+    assert saving6 > saving5  # two parity devices -> bigger win
+
+
+def test_kdd_parity_q_updates_deferred(trace, benchmark):
+    raid = make_raid_for_trace(trace, level=RaidLevel.RAID6, ndisks=6)
+    cache = int(trace.stats().unique_pages * 0.10)
+    benchmark.pedantic(
+        lambda: simulate_policy("kdd", trace, cache, raid=raid, seed=1),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    # after finish() (inside simulate) nothing is left stale
+    assert not raid.stale_stripes

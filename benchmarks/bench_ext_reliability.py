@@ -1,0 +1,53 @@
+"""Extension bench: the reliability-vs-cost landscape (§V-B / §V-C).
+
+Puts KDD next to the other ways of making an SSD cache safe or durable:
+
+* mirrored write-back (SRC / cache-optimised RAID): RPO=0 via a second
+  SSD, 2x dirty-write wear;
+* deduplicating write-through (CacheDedup): endurance via content
+  dedup, write-through latency;
+* KDD: RPO=0 and endurance with one SSD, one member write per hit.
+
+The bench records cache write traffic and RAID member I/O per scheme
+on the same stream — the quantitative form of the paper's Table II
+argument that only KDD lands in the low-latency/good-endurance corner
+without extra hardware.
+"""
+
+import pytest
+
+from repro.harness.runner import simulate_policy
+from repro.traces import zipf_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_workload(20_000, 4000, alpha=1.0, read_ratio=0.3, seed=10,
+                         name="mixed")
+
+
+def test_reliability_cost_landscape(trace, benchmark):
+    def run_all():
+        return {
+            name: simulate_policy(name, trace, cache_pages=1024, seed=1)
+            for name in ("wt", "mwb", "dedup-wt", "kdd")
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    for name, r in results.items():
+        benchmark.extra_info[f"{name}_ssd_writes"] = r.ssd_write_pages
+        benchmark.extra_info[f"{name}_member_ios"] = r.raid.total
+
+    # the mirrored cache writes the most flash (dirty pages twice)
+    assert results["mwb"].ssd_write_pages > results["wt"].ssd_write_pages
+    # dedup cuts flash writes below plain WT without touching the RAID path
+    assert results["dedup-wt"].ssd_write_pages < results["wt"].ssd_write_pages
+    assert results["dedup-wt"].raid.total == pytest.approx(
+        results["wt"].raid.total, rel=0.01
+    )
+    # KDD cuts BOTH flash writes and RAID member traffic
+    assert results["kdd"].ssd_write_pages < results["wt"].ssd_write_pages
+    assert results["kdd"].raid.total < results["wt"].raid.total
+    # and uses less flash than the mirrored design by a wide margin
+    assert results["kdd"].ssd_write_pages < 0.5 * results["mwb"].ssd_write_pages

@@ -1,0 +1,79 @@
+"""Extension bench: hot-mirroring tiers vs KDD on the same write stream.
+
+HotMirroring/AutoRAID (§V-A) avoid the small write by *placing* hot
+data in RAID-1; KDD avoids it by *caching* old versions.  Both depend
+on skew: the tier thrashes when the hot set outgrows the mirror, while
+KDD degrades only to normal write-miss behaviour.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import KDD
+from repro.raid import RAIDArray, RaidLevel, TieredRaid
+from repro.traces import zipf_workload
+
+
+def cold_array():
+    return RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=16,
+                     pages_per_disk=1 << 15)
+
+
+def run_tiered(writes, mirror_pages):
+    t = TieredRaid(cold_array(), mirror_pages=mirror_pages)
+    for lba in writes:
+        t.write(lba)
+    t.demote_all()
+    return t
+
+
+def run_kdd(writes, cache_pages):
+    raid = cold_array()
+    kdd = KDD(CacheConfig(cache_pages=cache_pages, ways=64, seed=1), raid)
+    for lba in writes:
+        kdd.write(lba)
+    kdd.finish()
+    return kdd, raid
+
+
+def test_skewed_stream_both_beat_rmw(benchmark):
+    trace = zipf_workload(8000, 3000, alpha=1.2, read_ratio=0.0, seed=12)
+    writes = [int(lba) for lba in trace.records["lba"]]
+
+    def run_all():
+        rmw = cold_array()
+        for lba in writes:
+            rmw.write(lba)
+        tiered = run_tiered(writes, mirror_pages=1024)
+        kdd, kdd_raid = run_kdd(writes, cache_pages=1024)
+        return rmw, tiered, kdd_raid
+
+    rmw, tiered, kdd_raid = benchmark.pedantic(run_all, rounds=1,
+                                               iterations=1, warmup_rounds=0)
+    benchmark.extra_info["rmw_ios"] = rmw.counters.total
+    benchmark.extra_info["tiered_ios"] = tiered.member_ios
+    benchmark.extra_info["kdd_ios"] = kdd_raid.counters.total
+    assert tiered.member_ios < rmw.counters.total
+    assert kdd_raid.counters.total < rmw.counters.total
+
+
+def test_tier_thrashes_when_hot_set_outgrows_mirror(benchmark):
+    """Uniform writes over a big footprint: the mirror migrates per write
+    while KDD just takes normal misses."""
+    trace = zipf_workload(4000, 8000, alpha=0.0, read_ratio=0.0, seed=12)
+    writes = [int(lba) for lba in trace.records["lba"]]
+
+    def run_both():
+        tiered = run_tiered(writes, mirror_pages=64)
+        rmw = cold_array()
+        for lba in writes:
+            rmw.write(lba)
+        return tiered, rmw
+
+    tiered, rmw = benchmark.pedantic(run_both, rounds=1, iterations=1,
+                                     warmup_rounds=0)
+    benchmark.extra_info["tiered_ios"] = tiered.member_ios
+    benchmark.extra_info["rmw_ios"] = rmw.counters.total
+    benchmark.extra_info["migrations"] = tiered.counters.migrations
+    # migration overhead erases the tier's advantage on uniform streams
+    assert tiered.member_ios > 0.9 * rmw.counters.total

@@ -1,0 +1,33 @@
+"""Bench: Figure 10 — average response time under the FIO zipf benchmark."""
+
+from repro.harness.figures import fig10
+
+
+def test_fig10(run_figure):
+    result = run_figure(
+        fig10, total_requests=3000, working_set_pages=40_000, cache_pages=25_000
+    )
+    print()
+    print(result.render())
+
+    def mean_ms(policy, read_rate):
+        (row,) = [
+            r
+            for r in result.rows
+            if r["policy"] == policy and r["read_rate"] == read_rate
+        ]
+        return row["mean_ms"]
+
+    for rate in (0.0, 0.25, 0.50, 0.75):
+        kdd = mean_ms("kdd", rate)
+        leavo = mean_ms("leavo", rate)
+        wt = mean_ms("wt", rate)
+        nossd = mean_ms("nossd", rate)
+        # paper: KDD reduces response time by 42-43% vs Nossd and
+        # 32-43% vs WT across read rates; KDD ~ LeavO throughout
+        assert kdd < 0.75 * nossd, rate
+        assert kdd < 0.85 * wt, rate
+        assert abs(kdd - leavo) / leavo < 0.25, rate
+
+    # WT/WA approach Nossd as the read rate grows (reads hit the SSD)
+    assert mean_ms("wt", 0.75) < mean_ms("wt", 0.0)

@@ -1,0 +1,33 @@
+"""Bench: Figure 11 — SSD write traffic under the FIO zipf benchmark."""
+
+from repro.harness.figures import fig11
+
+
+def test_fig11(run_figure):
+    result = run_figure(
+        fig11, total_requests=3000, working_set_pages=40_000, cache_pages=25_000
+    )
+    print()
+    print(result.render())
+
+    def writes(policy, read_rate):
+        (row,) = [
+            r
+            for r in result.rows
+            if r["policy"] == policy and r["read_rate"] == read_rate
+        ]
+        return row["ssd_write_pages"]
+
+    for rate in (0.0, 0.25, 0.50, 0.75):
+        wa, wt = writes("wa", rate), writes("wt", rate)
+        leavo, kdd = writes("leavo", rate), writes("kdd", rate)
+        # ordering: WA least; KDD < WT < LeavO (paper: KDD -19..44% vs WT,
+        # -23..46% vs LeavO)
+        assert wa <= kdd, rate
+        assert kdd < wt <= leavo * 1.05, rate
+
+    # WA's writes grow with the read rate (read fills) and close in on KDD
+    assert writes("wa", 0.75) > writes("wa", 0.0)
+    gap_low = writes("kdd", 0.0) - writes("wa", 0.0)
+    gap_high = writes("kdd", 0.75) - writes("wa", 0.75)
+    assert gap_high < gap_low

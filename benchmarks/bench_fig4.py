@@ -1,0 +1,26 @@
+"""Bench: Figure 4 — metadata partition size vs metadata I/O share."""
+
+from conftest import BENCH_SCALE
+
+from repro.harness.figures import fig4
+
+
+def test_fig4(run_figure):
+    result = run_figure(fig4, scale=BENCH_SCALE * 3)
+    print()
+    print(result.render())
+    # Paper: at 0.59% partition size, metadata I/Os stay under ~1.8% of
+    # total cache writes for every workload.
+    at_059 = [r for r in result.rows if r["meta_partition_pct"] == 0.59]
+    assert at_059
+    for r in at_059:
+        assert r["meta_io_pct"] < 2.5, r
+    # Larger partitions never cost more metadata I/O than smaller ones.
+    for wl in {r["workload"] for r in result.rows}:
+        series = sorted(
+            (r["meta_partition_pct"], r["meta_io_pct"])
+            for r in result.rows
+            if r["workload"] == wl
+        )
+        ratios = [v for _, v in series]
+        assert ratios[-1] <= ratios[0] + 0.25, (wl, series)

@@ -1,0 +1,25 @@
+"""Bench: Figure 5 — hit ratios under the write-dominant traces."""
+
+from conftest import BENCH_SCALE
+
+from repro.harness.figures import fig5
+
+
+def test_fig5(run_figure):
+    result = run_figure(fig5, scale=BENCH_SCALE)
+    print()
+    print(result.render())
+    series = result.series(x="cache_pages", y="hit_ratio", key="policy")
+
+    def mean_hit(policy):
+        return sum(y for _, y in series[policy]) / len(series[policy])
+
+    # Paper's ordering: WT has the best hit ratio (one copy per page);
+    # KDD beats LeavO at every locality level; stronger locality helps KDD.
+    assert mean_hit("wt") >= mean_hit("kdd-12") - 0.02
+    assert mean_hit("kdd-12") >= mean_hit("kdd-25") - 0.02
+    assert mean_hit("kdd-25") >= mean_hit("kdd-50") - 0.02
+    assert mean_hit("kdd-25") > mean_hit("leavo") - 0.02
+    # hit ratios grow with cache size for every policy
+    for points in series.values():
+        assert points[-1][1] >= points[0][1] - 0.02

@@ -1,0 +1,41 @@
+"""Bench: Figure 6 — SSD write traffic under the write-dominant traces.
+
+This is the paper's headline figure: KDD cuts cache writes by up to
+~38/58/68 % (Fin1) and ~46/68/79 % (Hm0) vs write-through at locality
+50/25/12 %, and by up to ~73-80 % vs LeavO (a 5.1x lifetime gain).
+"""
+
+from conftest import BENCH_SCALE
+
+from repro.harness.figures import fig6
+
+
+def test_fig6(run_figure):
+    result = run_figure(fig6, scale=BENCH_SCALE)
+    print()
+    print(result.render())
+
+    def writes(policy, workload):
+        return {
+            r["cache_pages"]: r["ssd_write_pages"]
+            for r in result.rows
+            if r["policy"] == policy and r["workload"] == workload
+        }
+
+    for workload in ("Fin1", "Hm0"):
+        wa = writes("wa", workload)
+        wt = writes("wt", workload)
+        leavo = writes("leavo", workload)
+        for cache in wt:
+            # ordering at every cache size: WA < KDD-12 < KDD-25 < KDD-50 < WT < LeavO
+            k50 = writes("kdd-50", workload)[cache]
+            k25 = writes("kdd-25", workload)[cache]
+            k12 = writes("kdd-12", workload)[cache]
+            assert wa[cache] < k12 <= k25 <= k50, (workload, cache)
+            assert k50 < wt[cache] < leavo[cache], (workload, cache)
+        # headline reductions at the largest cache size
+        cache = max(wt)
+        red_25_vs_wt = 1 - writes("kdd-25", workload)[cache] / wt[cache]
+        red_12_vs_leavo = 1 - writes("kdd-12", workload)[cache] / leavo[cache]
+        assert red_25_vs_wt > 0.30, (workload, red_25_vs_wt)
+        assert red_12_vs_leavo > 0.50, (workload, red_12_vs_leavo)

@@ -1,0 +1,35 @@
+"""Bench: Figure 7 — hit ratios under the read-dominant traces."""
+
+from conftest import BENCH_SCALE
+
+from repro.harness.figures import fig7
+
+
+def test_fig7(run_figure):
+    result = run_figure(fig7, scale=BENCH_SCALE)
+    print()
+    print(result.render())
+
+    def hits(policy, workload):
+        return {
+            r["cache_pages"]: r["hit_ratio"]
+            for r in result.rows
+            if r["policy"] == policy and r["workload"] == workload
+        }
+
+    # Fin2: KDD sits between WT and LeavO, and the gap narrows as the
+    # cache grows (Section IV-A3).
+    wt, leavo, kdd = hits("wt", "Fin2"), hits("leavo", "Fin2"), hits("kdd-25", "Fin2")
+    caches = sorted(wt)
+    for cache in caches:
+        assert kdd[cache] >= leavo[cache] - 0.03, cache
+    gap_small = wt[caches[0]] - leavo[caches[0]]
+    gap_large = wt[caches[-1]] - leavo[caches[-1]]
+    assert gap_large <= gap_small + 0.02
+
+    # Web0 with a small cache: KDD can beat WT because old/delta pages
+    # pin the write-hot working set past plain LRU.
+    wt_web = hits("wt", "Web0")
+    kdd_web = hits("kdd-25", "Web0")
+    smallest = min(wt_web)
+    assert kdd_web[smallest] > wt_web[smallest] - 0.02

@@ -1,0 +1,43 @@
+"""Bench: Figure 8 — SSD write traffic under the read-dominant traces."""
+
+from conftest import BENCH_SCALE
+
+from repro.harness.figures import fig8
+
+
+def test_fig8(run_figure):
+    result = run_figure(fig8, scale=BENCH_SCALE)
+    print()
+    print(result.render())
+
+    def writes(policy, workload):
+        return {
+            r["cache_pages"]: r["ssd_write_pages"]
+            for r in result.rows
+            if r["policy"] == policy and r["workload"] == workload
+        }
+
+    for workload in ("Fin2", "Web0"):
+        wt = writes("wt", workload)
+        leavo = writes("leavo", workload)
+        kdd = writes("kdd-25", workload)
+        for cache in wt:
+            # the paper: "the improvement under read-dominant workloads is
+            # smaller ... especially when the cache size is small" — at the
+            # smallest caches KDD can sit within a few percent of WT, so
+            # allow tolerance there and require strict wins at larger sizes
+            assert kdd[cache] < wt[cache] * 1.03, (workload, cache)
+            assert wt[cache] < leavo[cache], (workload, cache)
+        cache = max(wt)
+        assert kdd[cache] < wt[cache]
+        # reductions are smaller than under write-dominant traces because
+        # read fills dominate and KDD cannot reduce those; still >10%
+        assert 1 - kdd[cache] / wt[cache] > 0.10
+
+    # the WA-to-KDD write-traffic gap narrows under read-dominant traces
+    # (paper: at the largest Fin2 caches KDD-12 can even beat WA)
+    wa = writes("wa", "Fin2")
+    k12 = writes("kdd-12", "Fin2")
+    big = max(wa)
+    small = min(wa)
+    assert k12[big] - wa[big] < k12[small] - wa[small]

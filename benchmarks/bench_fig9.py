@@ -1,0 +1,32 @@
+"""Bench: Figure 9 — average response time, open-loop trace replay."""
+
+from repro.harness.figures import fig9
+
+
+def test_fig9(run_figure):
+    result = run_figure(fig9, scale=0.002, max_requests=6000)
+    print()
+    print(result.render())
+
+    def mean_ms(policy, workload):
+        (row,) = [
+            r
+            for r in result.rows
+            if r["policy"] == policy and r["workload"] == workload
+        ]
+        return row["mean_ms"]
+
+    for workload in ("Fin1", "Fin2", "Hm0", "Web0"):
+        nossd = mean_ms("nossd", workload)
+        kdd = mean_ms("kdd", workload)
+        leavo = mean_ms("leavo", workload)
+        wt = mean_ms("wt", workload)
+        # KDD beats the no-cache baseline and WT everywhere (paper:
+        # 28-61% reduction vs Nossd)
+        assert kdd < nossd, workload
+        assert kdd < wt, workload
+        # KDD ~ LeavO: delta processing is not a bottleneck
+        assert kdd < 1.35 * leavo, workload
+
+    # WT/WA beat Nossd clearly only on the read-heavy Fin2
+    assert mean_ms("wt", "Fin2") < 0.9 * mean_ms("nossd", "Fin2")

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table I (workload characteristics)."""
+
+from conftest import BENCH_SCALE
+
+from repro.harness.figures import table1
+
+
+def test_table1(run_figure):
+    result = run_figure(table1, scale=BENCH_SCALE)
+    print()
+    print(result.render())
+    # shape assertions: the scaled stats must match the paper's ratios
+    by_name = {r["workload"]: r for r in result.rows}
+    assert by_name["Fin1"]["read_ratio"] < 0.25          # write dominant
+    assert by_name["Hm0"]["read_ratio"] < 0.40           # write dominant
+    assert by_name["Fin2"]["read_ratio"] > 0.75          # read dominant
+    assert by_name["Web0"]["read_ratio"] > 0.55          # read dominant
+    for name, r in by_name.items():
+        assert abs(r["read_ratio"] - r["paper_read_ratio"]) < 0.03

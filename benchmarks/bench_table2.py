@@ -1,0 +1,21 @@
+"""Bench: Table II — qualitative comparison of the caching policies."""
+
+from repro.harness.figures import table2
+
+
+def test_table2(run_figure):
+    result = run_figure(
+        table2, total_requests=2500, working_set_pages=30_000, cache_pages=18_000
+    )
+    print()
+    print(result.render())
+    cells = {r["policy"]: r for r in result.rows}
+    # the paper's Table II verbatim:
+    assert cells["wt"]["io_latency"] == "High"
+    assert cells["wa"]["io_latency"] == "High"
+    assert cells["leavo"]["io_latency"] == "Low"
+    assert cells["kdd"]["io_latency"] == "Low"
+    assert cells["wt"]["ssd_endurance"] == "Bad"
+    assert cells["wa"]["ssd_endurance"] == "Good"
+    assert cells["leavo"]["ssd_endurance"] == "Bad"
+    assert cells["kdd"]["ssd_endurance"] == "Good"

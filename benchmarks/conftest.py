@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one bench module.  Benchmarks run the
+corresponding experiment driver once per round at a reduced scale
+(shapes are scale-invariant; see DESIGN.md) and attach the regenerated
+rows to the benchmark's ``extra_info`` so ``--benchmark-only`` output
+doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scale used by trace-driven benches; small enough for quick rounds,
+#: large enough that cache-size sweeps stay meaningful.
+BENCH_SCALE = 0.004
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run a figure driver exactly once under the benchmark clock."""
+
+    def _run(fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        benchmark.extra_info["figure"] = result.figure_id
+        benchmark.extra_info["rows"] = len(result.rows)
+        return result
+
+    return _run

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Endurance planning: how long will the cache SSD last under each policy?
+
+A storage architect sizing an SSD cache for a write-heavy volume wants
+to know replacement cadence.  This example runs the four policies over
+a write-dominant workload (calibrated to MSR Cambridge hm_0), projects
+device lifetime from the measured write traffic using the standard
+endurance formula, and shows the effect of content locality.
+
+Run:  python examples/endurance_planning.py
+"""
+
+from repro import make_workload
+from repro.flash import MLC_ENDURANCE, LifetimeEstimate
+from repro.harness import render_table, simulate_policy
+from repro.units import GiB
+
+SCALE = 0.01
+CACHE_GB = 64          # the production device being sized
+DAILY_REPLAY = 24.0    # how many times the measured traffic repeats per day
+
+
+def main() -> None:
+    trace = make_workload("Hm0", scale=SCALE)
+    stats = trace.stats()
+    cache_pages = int(stats.unique_pages * 0.10)
+    print(
+        f"workload: {stats.name} ({stats.requests:,} page accesses, "
+        f"{100 * (1 - stats.read_ratio):.0f}% writes), "
+        f"cache = {cache_pages:,} pages\n"
+    )
+
+    rows = []
+    for label, policy, kwargs in [
+        ("wa", "wa", {}),
+        ("wt", "wt", {}),
+        ("leavo", "leavo", {}),
+        ("kdd-50", "kdd", {"mean_compression": 0.50}),
+        ("kdd-25", "kdd", {"mean_compression": 0.25}),
+        ("kdd-12", "kdd", {"mean_compression": 0.12}),
+    ]:
+        result = simulate_policy(policy, trace, cache_pages, seed=1, **kwargs)
+        daily_bytes = result.ssd_write_pages * trace.page_size * DAILY_REPLAY
+        est = LifetimeEstimate(
+            capacity_bytes=CACHE_GB * GiB,
+            endurance=MLC_ENDURANCE,
+            write_amplification=1.5,  # typical MLC device under mixed load
+            host_writes_per_day=daily_bytes,
+        )
+        rows.append(
+            {
+                "policy": label,
+                "ssd_write_pages": f"{result.ssd_write_pages:,}",
+                "daily_write_GiB": f"{daily_bytes / GiB:.1f}",
+                "projected_lifetime_years": f"{est.lifetime_years:,.1f}",
+            }
+        )
+    print(render_table(rows))
+    print(
+        "\nStronger content locality (smaller deltas) directly extends the"
+        "\ncache's life: the paper reports up to 5.1x over LeavO."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Failure drill: prove RPO=0 under power, SSD, and HDD failures.
+
+Walks the three failure scenarios of Section III-E on a live system:
+
+1. a power failure — the primary map is rebuilt from the on-flash
+   metadata log plus the NVRAM buffers and compared against the live map;
+2. an SSD cache failure — the RAID array is resynchronised so it is
+   single-fault tolerant again;
+3. an HDD failure — delayed parity is repaired through the cache's
+   deltas, then the failed member is rebuilt from the survivors.
+
+Run:  python examples/failure_drill.py
+"""
+
+from repro.cache import CacheConfig
+from repro.core import (
+    KDD,
+    recover_from_hdd_failure,
+    recover_from_power_failure,
+    recover_from_ssd_failure,
+    verify_recovery,
+)
+from repro.raid import RAIDArray, RaidLevel
+from repro.traces import zipf_workload
+
+
+def build_system():
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=16,
+                     pages_per_disk=1 << 15)
+    config = CacheConfig(cache_pages=4096, mean_compression=0.25, seed=7,
+                         dirty_threshold=0.5, low_watermark=0.25)
+    return KDD(config, raid), raid
+
+
+def warm_up(kdd):
+    trace = zipf_workload(
+        20_000, universe_pages=20_000, alpha=1.1, read_ratio=0.3, seed=7
+    )
+    for req in trace:
+        kdd.access(req.lba, req.is_read)
+
+
+def main() -> None:
+    # --- scenario 1: power failure -------------------------------------
+    kdd, raid = build_system()
+    warm_up(kdd)
+    print(f"live cache: {len(kdd.sets)} pages, "
+          f"{len(kdd.staging)} staged deltas, "
+          f"{len(kdd.dez_pages)} DEZ pages, "
+          f"{raid and len(raid.stale_stripes)} stripes with delayed parity")
+
+    state = recover_from_power_failure(kdd)
+    verify_recovery(kdd, state)  # raises on any divergence
+    print(f"power failure : primary map rebuilt from log+NVRAM — "
+          f"{state.cached_pages} pages recovered, exact match ✔")
+
+    # --- scenario 2: SSD cache failure ----------------------------------
+    report = recover_from_ssd_failure(kdd)
+    print(f"SSD failure   : {report.stripes_resynced} stripes resynced, "
+          f"{report.member_ios} member I/Os — array redundant again ✔")
+    raid.fail_disk(0)  # now survivable
+    print("                survived a subsequent disk loss ✔")
+
+    # --- scenario 3: HDD failure ----------------------------------------
+    kdd2, raid2 = build_system()
+    warm_up(kdd2)
+    stale = len(raid2.stale_stripes)
+    report = recover_from_hdd_failure(kdd2, disk=2)
+    print(f"HDD failure   : {stale} stale stripes repaired first, then "
+          f"{report.pages_rebuilt} pages rebuilt onto disk 2 ✔")
+    print(f"                array degraded: {raid2.degraded}")
+
+
+if __name__ == "__main__":
+    main()

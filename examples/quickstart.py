@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: compare KDD against the classic SSD caching policies.
+
+Runs a scaled-down OLTP-style trace (calibrated to the paper's Fin1
+workload, Table I) through write-through, write-around, LeavO and
+KDD at three content-locality levels, then prints the two headline
+metrics of the paper: cache hit ratio and total SSD write traffic
+(which is inversely proportional to cache device lifetime).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_workload
+from repro.flash import relative_lifetime
+from repro.harness import render_table, simulate_policy
+
+SCALE = 0.01  # 1% of the paper's Fin1: ~70k requests, ~10k unique pages
+
+
+def main() -> None:
+    trace = make_workload("Fin1", scale=SCALE)
+    stats = trace.stats()
+    print(f"workload: {stats.name}, {stats.requests:,} page accesses, "
+          f"{stats.unique_pages:,} unique pages, "
+          f"read ratio {stats.read_ratio:.2f}\n")
+
+    cache_pages = int(stats.unique_pages * 0.10)  # cache 10% of the footprint
+    rows = []
+    runs = {}
+    for policy, kwargs in [
+        ("wa", {}),
+        ("wt", {}),
+        ("leavo", {}),
+        ("kdd", {"mean_compression": 0.50}),
+        ("kdd", {"mean_compression": 0.25}),
+        ("kdd", {"mean_compression": 0.12}),
+    ]:
+        result = simulate_policy(policy, trace, cache_pages, seed=1, **kwargs)
+        label = policy
+        if policy == "kdd":
+            label = f"kdd-{int(kwargs['mean_compression'] * 100)}"
+        runs[label] = result
+        rows.append(
+            {
+                "policy": label,
+                "hit_ratio": f"{result.hit_ratio:.3f}",
+                "ssd_write_pages": f"{result.ssd_write_pages:,}",
+                "raid_member_ios": f"{result.raid.total:,}",
+            }
+        )
+    print(render_table(rows))
+
+    wt = runs["wt"].ssd_write_pages
+    leavo = runs["leavo"].ssd_write_pages
+    for label in ("kdd-50", "kdd-25", "kdd-12"):
+        kdd = runs[label].ssd_write_pages
+        print(
+            f"\n{label}: SSD writes -{100 * (1 - kdd / wt):.1f}% vs WT, "
+            f"-{100 * (1 - kdd / leavo):.1f}% vs LeavO "
+            f"(cache lifetime x{relative_lifetime(kdd, leavo):.1f} vs LeavO)"
+        )
+
+
+if __name__ == "__main__":
+    main()

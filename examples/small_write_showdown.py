@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Small-write showdown: every answer to RAID-5's 4-I/O problem.
+
+Thirty years of systems work attacked the same equation — one logical
+page update = 2 reads + 2 writes — from different angles.  This example
+runs them all on one random-write stream and shows where each pays:
+
+* plain RAID-5 read-modify-write (the problem itself),
+* Parity Logging (ISCA'93): log parity-update images sequentially,
+* AFRAID (ATC'96): skip parity, accept a window of vulnerability,
+* Dynamic striping / LFS-RAID: out-of-place full-stripe writes,
+* KDD (this paper): SSD cache absorbs the old versions as deltas.
+
+Run:  python examples/small_write_showdown.py
+"""
+
+from repro.cache import CacheConfig
+from repro.core import KDD
+from repro.harness import render_table
+from repro.raid import (
+    AfraidRaid,
+    LogStructuredRaid,
+    ParityLoggingRaid,
+    RAIDArray,
+    RaidLevel,
+)
+from repro.traces import zipf_workload
+
+
+def fresh_array():
+    return RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=16,
+                     pages_per_disk=1 << 15)
+
+
+def main() -> None:
+    trace = zipf_workload(20_000, 6_000, alpha=1.0, read_ratio=0.0, seed=17,
+                          name="random-writes")
+    writes = [int(lba) for lba in trace.records["lba"]]
+    n = len(writes)
+    print(f"{n:,} random 4 KiB writes over a 5-disk RAID-5\n")
+    rows = []
+
+    rmw = fresh_array()
+    for lba in writes:
+        rmw.write(lba)
+    rows.append({
+        "scheme": "raid5 rmw",
+        "member_ios": f"{rmw.counters.total:,}",
+        "ios_per_write": f"{rmw.counters.total / n:.2f}",
+        "exposure": "none",
+        "extra_cost": "-",
+    })
+
+    pl = ParityLoggingRaid(fresh_array(), log_pages=8192, nvram_pages=64)
+    for lba in writes:
+        pl.write(lba)
+    pl.flush()
+    random_ios = pl.counters.data_reads + pl.counters.data_writes
+    seq_ios = pl.counters.log_writes + pl.counters.reintegration_ios
+    rows.append({
+        "scheme": "parity logging",
+        "member_ios": f"{pl.array.counters.total + seq_ios:,}",
+        "ios_per_write": f"{random_ios / n:.2f} rnd + {seq_ios / n:.2f} seq",
+        "exposure": "none",
+        "extra_cost": "log disk + reintegration",
+    })
+
+    af = AfraidRaid(fresh_array(), max_unredundant_stripes=256)
+    max_window = 0
+    for lba in writes:
+        af.write(lba)
+        max_window = max(max_window, af.window_of_vulnerability)
+    af.flush()
+    rows.append({
+        "scheme": "afraid",
+        "member_ios": f"{af.array.counters.total:,}",
+        "ios_per_write": f"{af.array.counters.total / n:.2f}",
+        "exposure": f"up to {max_window} stripes",
+        "extra_cost": "idle-time repair",
+    })
+
+    ls = LogStructuredRaid(fresh_array(), reserve_stripes=32)
+    for lba in writes:
+        ls.write(lba % ls.exported_pages)
+    ls.flush()
+    rows.append({
+        "scheme": "lfs striping",
+        "member_ios": f"{ls.array.counters.total:,}",
+        "ios_per_write": f"{ls.array.counters.total / n:.2f}",
+        "exposure": "none",
+        "extra_cost": f"cleaning (WAF {ls.write_amplification:.2f})",
+    })
+
+    kdd_raid = fresh_array()
+    kdd = KDD(CacheConfig(cache_pages=3000, ways=64, seed=1), kdd_raid)
+    for lba in writes:
+        kdd.write(lba)
+    kdd.finish()
+    rows.append({
+        "scheme": "kdd (this paper)",
+        "member_ios": f"{kdd_raid.counters.total:,}",
+        "ios_per_write": f"{kdd_raid.counters.total / n:.2f}",
+        "exposure": "none (deltas in SSD)",
+        "extra_cost": f"{kdd.stats.ssd_writes:,} SSD page writes",
+    })
+
+    print(render_table(rows))
+    print(
+        "\nKDD is the only scheme that removes the penalty on write hits"
+        "\nwhile staying always-redundant with unchanged RAID layout —"
+        "\npaid for with (delta-compressed) SSD cache writes."
+    )
+
+
+if __name__ == "__main__":
+    main()

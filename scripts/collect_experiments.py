@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Regenerate every table/figure at the benchmark scales and dump the rows.
+
+Used to produce the measured numbers recorded in EXPERIMENTS.md:
+
+    python scripts/collect_experiments.py > experiments_raw.txt
+"""
+
+import time
+
+from repro.harness.figures import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+)
+
+RUNS = [
+    (table1, dict(scale=0.004)),
+    (fig4, dict(scale=0.012)),
+    (fig5, dict(scale=0.004)),
+    (fig6, dict(scale=0.004)),
+    (fig7, dict(scale=0.004)),
+    (fig8, dict(scale=0.004)),
+    (fig9, dict(scale=0.002, max_requests=6000)),
+    (fig10, dict(total_requests=3000, working_set_pages=40_000, cache_pages=25_000)),
+    (fig11, dict(total_requests=3000, working_set_pages=40_000, cache_pages=25_000)),
+    (table2, dict(total_requests=2500, working_set_pages=30_000, cache_pages=18_000)),
+]
+
+
+def main() -> None:
+    for fn, kwargs in RUNS:
+        start = time.time()
+        result = fn(**kwargs)
+        print(result.render())
+        print(f"({result.figure_id}: {time.time() - start:.1f}s, {kwargs})\n",
+              flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — reproduction of "Improving RAID Performance Using an Endurable
+SSD Cache" (Li, Feng, Hua, Wang; ICPP 2016).
+
+The package implements KDD (Keeping Data and Deltas in SSD) together
+with every substrate the paper's evaluation depends on: trace formats
+and calibrated synthetic workloads, a flash SSD device model (FTL, GC,
+wear), an HDD model, parity RAID (levels 0/1/5/6) with the delayed
+parity-update interfaces, the baseline cache policies (write-through,
+write-around, write-back, LeavO), a discrete-event timing simulator,
+and an experiment harness that regenerates each table and figure of the
+paper's evaluation section.
+
+Quickstart::
+
+    from repro import make_workload, simulate_policy
+
+    trace = make_workload("Fin1", scale=0.02)
+    result = simulate_policy("kdd", trace, cache_pages=20_000,
+                             mean_compression=0.25, seed=7)
+    print(result.hit_ratio, result.ssd_write_pages)
+"""
+
+from .units import DEFAULT_PAGE_SIZE, GiB, KiB, MiB, TiB
+from .errors import (
+    CacheError,
+    CapacityError,
+    ConfigError,
+    DegradedError,
+    FlashError,
+    RaidError,
+    RecoveryError,
+    ReproError,
+    TraceFormatError,
+    WornOutError,
+)
+from .traces import Trace, TraceStats, make_workload, zipf_workload
+
+
+def simulate_policy(*args, **kwargs):
+    """Run a trace through a cache policy; see :func:`repro.harness.simulate_policy`.
+
+    Imported lazily to keep ``import repro`` light.
+    """
+    from .harness.runner import simulate_policy as _simulate_policy
+
+    return _simulate_policy(*args, **kwargs)
+
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "GiB",
+    "KiB",
+    "MiB",
+    "TiB",
+    "CacheError",
+    "CapacityError",
+    "ConfigError",
+    "DegradedError",
+    "FlashError",
+    "RaidError",
+    "RecoveryError",
+    "ReproError",
+    "TraceFormatError",
+    "WornOutError",
+    "Trace",
+    "TraceStats",
+    "make_workload",
+    "zipf_workload",
+    "simulate_policy",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""SSD cache framework: set-associative space, metadata log, baseline policies."""
+
+from .admission import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    CountAdmission,
+    LarcAdmission,
+    make_admission,
+)
+from .base import CacheConfig, CachePolicy, Outcome, TrafficCounters
+from .sets import CacheLine, CacheSets
+from .mlog import MetadataLog
+from .common import SetAssocPolicy
+from .nocache import Nossd
+from .writethrough import WriteThrough
+from .writearound import WriteAround
+from .writeback import WriteBack
+from .leavo import LeavO
+from .dedup import ContentModel, DedupWriteThrough
+from .raidcache import MirroredWriteBack
+from .wbpolicies import JournaledWriteBack, OrderedWriteBack
+from .wec import WecWriteThrough
+
+__all__ = [
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "CountAdmission",
+    "LarcAdmission",
+    "make_admission",
+    "CacheConfig",
+    "CachePolicy",
+    "Outcome",
+    "TrafficCounters",
+    "CacheLine",
+    "CacheSets",
+    "MetadataLog",
+    "SetAssocPolicy",
+    "Nossd",
+    "WriteThrough",
+    "WriteAround",
+    "WriteBack",
+    "LeavO",
+    "ContentModel",
+    "DedupWriteThrough",
+    "MirroredWriteBack",
+    "JournaledWriteBack",
+    "OrderedWriteBack",
+    "WecWriteThrough",
+]

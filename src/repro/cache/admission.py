@@ -1,0 +1,144 @@
+"""Selective cache admission policies (Section V-C of the paper).
+
+The paper cites SieveStore and LARC as *complementary* to KDD: they
+decide which blocks enter the SSD at all, cutting allocation writes and
+cache pollution, and "can be deployed in KDD to further reduce the
+amount of writes to SSD".  We implement both families behind one
+interface so any policy in this package can use them:
+
+* :class:`AlwaysAdmit` — classic behaviour (the paper's default);
+* :class:`LarcAdmission` — LARC (Huang et al., MSST'13): a block is
+  admitted only on its second miss while it lingers in a ghost LRU
+  queue whose size self-tunes (shrinks when the real cache is hitting,
+  grows when the ghost queue is hitting);
+* :class:`CountAdmission` — SieveStore-style: admit after the k-th
+  access, counting accesses in a bounded sieve.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigError
+
+
+class AdmissionPolicy:
+    """Decides whether a missed page may be allocated in the cache."""
+
+    name = "abstract"
+
+    def should_admit(self, lba: int) -> bool:
+        raise NotImplementedError
+
+    def on_cache_hit(self, lba: int) -> None:
+        """Feedback hook: the cache served a hit for ``lba``."""
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """Admit every miss (the baseline all paper experiments use)."""
+
+    name = "always"
+
+    def should_admit(self, lba: int) -> bool:
+        return True
+
+
+class LarcAdmission(AdmissionPolicy):
+    """Lazy Adaptive Replacement Cache admission filter.
+
+    A ghost LRU queue ``Qr`` holds addresses of recently missed pages
+    (no data).  A miss found in ``Qr`` is promoted — admitted to the
+    real cache; a miss not in ``Qr`` only enters ``Qr``.  The target
+    size of ``Qr`` adapts between 10% and 90% of the cache size: cache
+    hits hint the cache is already effective (shrink ``Qr``, be
+    choosier), ghost hits hint it filters too hard (grow ``Qr``).
+    """
+
+    name = "larc"
+
+    def __init__(self, cache_pages: int) -> None:
+        if cache_pages < 1:
+            raise ConfigError("cache_pages must be >= 1")
+        self.cache_pages = cache_pages
+        self._ghost: OrderedDict[int, None] = OrderedDict()
+        self._target = max(1, cache_pages // 10)
+        self.min_target = max(1, cache_pages // 10)
+        self.max_target = max(1, (9 * cache_pages) // 10)
+        self.ghost_hits = 0
+        self.filtered = 0
+
+    @property
+    def target_size(self) -> int:
+        return self._target
+
+    def _grow(self) -> None:
+        step = max(1, self.cache_pages // (len(self._ghost) + 1))
+        self._target = min(self.max_target, self._target + step)
+
+    def _shrink(self) -> None:
+        step = max(
+            1, len(self._ghost) // (self.cache_pages - len(self._ghost) + 1)
+        )
+        self._target = max(self.min_target, self._target - step)
+
+    def _trim(self) -> None:
+        while len(self._ghost) > self._target:
+            self._ghost.popitem(last=False)
+
+    def should_admit(self, lba: int) -> bool:
+        if lba in self._ghost:
+            del self._ghost[lba]
+            self.ghost_hits += 1
+            self._grow()
+            self._trim()
+            return True
+        self.filtered += 1
+        self._ghost[lba] = None
+        self._trim()
+        return False
+
+    def on_cache_hit(self, lba: int) -> None:
+        self._shrink()
+        self._trim()
+
+
+class CountAdmission(AdmissionPolicy):
+    """Admit a page once it has been accessed ``threshold`` times.
+
+    A bounded LRU sieve keeps per-address access counts, in the spirit
+    of SieveStore's "highly selective" allocation.
+    """
+
+    name = "count"
+
+    def __init__(self, threshold: int = 2, sieve_entries: int = 65536) -> None:
+        if threshold < 1:
+            raise ConfigError("threshold must be >= 1")
+        if sieve_entries < 1:
+            raise ConfigError("sieve_entries must be >= 1")
+        self.threshold = threshold
+        self.sieve_entries = sieve_entries
+        self._counts: OrderedDict[int, int] = OrderedDict()
+        self.filtered = 0
+
+    def should_admit(self, lba: int) -> bool:
+        count = self._counts.pop(lba, 0) + 1
+        if count >= self.threshold:
+            return True
+        self._counts[lba] = count
+        if len(self._counts) > self.sieve_entries:
+            self._counts.popitem(last=False)
+        self.filtered += 1
+        return False
+
+
+def make_admission(name: str, cache_pages: int) -> AdmissionPolicy:
+    """Factory used by :class:`repro.cache.base.CacheConfig.admission`."""
+    name = name.lower()
+    if name == "always":
+        return AlwaysAdmit()
+    if name == "larc":
+        return LarcAdmission(cache_pages)
+    if name == "count":
+        return CountAdmission()
+    raise ConfigError(f"unknown admission policy {name!r}")

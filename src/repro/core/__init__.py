@@ -1,0 +1,26 @@
+"""KDD: the paper's cache management scheme, plus failure recovery."""
+
+from .kdd import KDD, DeltaRef, DezPage
+from .prototype import ContentWorkload, KDDDataPath
+from .recovery import (
+    RecoveredPage,
+    RecoveredState,
+    recover_from_hdd_failure,
+    recover_from_power_failure,
+    recover_from_ssd_failure,
+    verify_recovery,
+)
+
+__all__ = [
+    "KDD",
+    "DeltaRef",
+    "DezPage",
+    "ContentWorkload",
+    "KDDDataPath",
+    "RecoveredPage",
+    "RecoveredState",
+    "recover_from_hdd_failure",
+    "recover_from_power_failure",
+    "recover_from_ssd_failure",
+    "verify_recovery",
+]

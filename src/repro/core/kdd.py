@@ -1,0 +1,480 @@
+"""KDD — Keeping Data and Deltas in SSD (the paper's contribution).
+
+Cache space is dynamically shared between a Data Zone (DAZ: pages in
+state *clean* or *old*) and a Delta Zone (DEZ: packed *delta* pages),
+mixed within every cache set.  The protocol per access:
+
+* **read miss / write miss** — allocate a *clean* DAZ page; writes go
+  to RAID with a conventional parity update.
+* **write hit** — the DAZ page flips to *old* and keeps the previous
+  data; the compressed XOR delta goes to the NVRAM staging buffer; the
+  new data is dispatched to RAID **without** a parity update (one member
+  write instead of the small-write 2r+2w).
+* **read hit on old** — data page and latest delta are read (SSD-
+  internal parallelism makes this cheap) and combined.
+* **staging buffer full** — its deltas are compacted into one DEZ page,
+  allocated from the set currently holding the fewest DEZ pages.
+* **cleaning** — when old+delta pages exceed a threshold, a background
+  pass repairs stale parity per stripe (reconstruct-write when the whole
+  stripe is cached, read-modify-write otherwise), then reclaims the old
+  pages and invalidates their deltas (the paper's "simple" scheme;
+  ``reclaim_merge=True`` implements the alternative that rewrites merged
+  pages as clean).
+
+Metadata is persisted through the circular log (:mod:`repro.cache.mlog`),
+batched via the NVRAM metadata buffer; DEZ allocation is not logged
+because delta locations are embedded in the *old* entries (Figure 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache.base import CacheConfig, Outcome
+from ..cache.common import SetAssocPolicy
+from ..cache.mlog import MetadataLog
+from ..cache.sets import CacheLine
+from ..delta.model import GaussianDeltaModel
+from ..delta.packer import DELTA_HEADER_BYTES, pack_deltas
+from ..errors import CacheError, ConfigError
+from ..nvram.metabuffer import MappingEntry, PageState
+from ..nvram.staging import StagingBuffer
+from ..raid.array import RAIDArray
+
+
+@dataclass
+class DeltaRef:
+    """Location of the latest delta for an *old* DAZ page.
+
+    ``dez_lpn is None`` means the delta still sits in the NVRAM staging
+    buffer (the paper's ``lba_dez = -1`` convention).
+    """
+
+    size: int
+    dez_lpn: int | None = None
+
+
+@dataclass
+class DezPage:
+    """One committed Delta Zone page."""
+
+    lpn: int
+    set_idx: int
+    slot: int
+    packed: "object"  # PackedPage
+
+    @property
+    def valid_count(self) -> int:
+        return self.packed.valid_count
+
+
+class KDD(SetAssocPolicy):
+    """The KDD cache management scheme."""
+
+    name = "kdd"
+
+    #: CPU cost of delta (de)compression on the critical path, seconds.
+    #: "tens of microseconds" (Section IV-B2) for an lzo-class codec.
+    compress_time = 30e-6
+    decompress_time = 15e-6
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        raid: RAIDArray,
+        reclaim_merge: bool = False,
+        fixed_dez_fraction: float | None = None,
+        dez_random_placement: bool = False,
+    ) -> None:
+        super().__init__(config, raid)
+        if fixed_dez_fraction is not None and not 0.0 < fixed_dez_fraction < 1.0:
+            raise ConfigError("fixed_dez_fraction must be in (0, 1)")
+        self.reclaim_merge = reclaim_merge
+        self.fixed_dez_fraction = fixed_dez_fraction
+        self.dez_random_placement = dez_random_placement
+        self._rng = np.random.default_rng(config.seed + 0x5EED)
+
+        self.delta_model = GaussianDeltaModel(
+            mean=config.mean_compression,
+            sigma=config.compression_sigma,
+            page_size=config.page_size,
+            seed=config.seed,
+        )
+        self.staging = StagingBuffer(capacity_bytes=config.nvram_buffer_bytes)
+        self.mlog = MetadataLog(
+            self.ssd,
+            base_lpn=0,
+            capacity_pages=self.meta_pages,
+            gc_threshold=config.meta_gc_threshold,
+            page_size=config.page_size,
+        )
+        self.dez_pages: dict[int, DezPage] = {}
+        self._stale_order: OrderedDict[int, None] = OrderedDict()
+        self.cleanings = 0
+        self.forced_cleanings = 0
+
+    # -- metadata helpers --------------------------------------------------
+
+    def _meta_record(self, entry: MappingEntry) -> None:
+        before = self.mlog.meta_page_writes
+        self.mlog.record(entry)
+        self.stats.meta_writes += self.mlog.meta_page_writes - before
+
+    def _record_clean(self, line: CacheLine) -> None:
+        self._meta_record(
+            MappingEntry(
+                lba_raid=line.lba, state=PageState.CLEAN, lba_daz=self._data_lpn(line)
+            )
+        )
+
+    def _record_old(self, line: CacheLine, ref: DeltaRef, off: int, length: int) -> None:
+        self._meta_record(
+            MappingEntry(
+                lba_raid=line.lba,
+                state=PageState.OLD,
+                lba_daz=self._data_lpn(line),
+                lba_dez=ref.dez_lpn if ref.dez_lpn is not None else -1,
+                dez_off=off,
+                dez_len=length,
+            )
+        )
+
+    def _record_free(self, lba: int) -> None:
+        self._meta_record(MappingEntry(lba_raid=lba, state=PageState.FREE))
+
+    # -- allocation hooks -------------------------------------------------------
+
+    def _on_line_allocated(self, line: CacheLine, kind: str) -> None:
+        super()._on_line_allocated(line, kind)
+        self._record_clean(line)
+
+    def _drop_line(self, line: CacheLine) -> None:
+        super()._drop_line(line)
+        self._record_free(line.lba)
+
+    def _daz_budget_ok(self) -> bool:
+        if self.fixed_dez_fraction is None:
+            return True
+        daz = self.sets.count(PageState.CLEAN) + self.sets.count(PageState.OLD)
+        return daz < (1.0 - self.fixed_dez_fraction) * self.config.cache_pages
+
+    def _alloc_line(self, lba: int, state: PageState) -> CacheLine | None:
+        if not self._daz_budget_ok():
+            # fixed-partition ablation: DAZ quota exhausted, evict from DAZ
+            if not self._make_room(self.sets.set_of(lba)):
+                self.stats.bypasses += 1
+                return None
+        return super()._alloc_line(lba, state)
+
+    def _make_room(self, set_idx: int) -> bool:
+        if self._evict_one_clean(set_idx):
+            return True
+        # the set is pinned by old/delta pages: clean its stripes now
+        sink = Outcome(hit=False, is_read=False)
+        stripes = {
+            self.raid.layout.stripe_of(l.lba)
+            for l in self.sets.lines_in_set(set_idx)
+            if l.state is PageState.OLD
+        }
+        if not stripes:
+            return False
+        self.forced_cleanings += 1
+        for stripe in stripes:
+            self._stale_order.pop(stripe, None)
+            self._clean_stripe(stripe, sink)
+        return self.sets.has_free_slot(set_idx) or self._evict_one_clean(set_idx)
+
+    # -- reads -------------------------------------------------------------------
+
+    def _read_hit(self, line: CacheLine) -> Outcome:
+        if line.state is PageState.OLD:
+            ref: DeltaRef = line.aux
+            npages = 1 + (1 if ref.dez_lpn is not None else 0)
+            self._ssd_read(npages)
+            return Outcome(
+                hit=True,
+                is_read=True,
+                fg_ssd_reads=npages,
+                fg_compute=self.decompress_time,
+            )
+        self._ssd_read(1)
+        return Outcome(hit=True, is_read=True, fg_ssd_reads=1)
+
+    # -- writes --------------------------------------------------------------------
+
+    def write(self, lba: int) -> Outcome:
+        line = self.sets.lookup(lba)
+        if line is None:
+            return self._write_miss(lba)
+        self.stats.write_hits += 1
+        self.sets.touch(lba)
+        self.admission.on_cache_hit(lba)
+
+        # generate the new delta (size drawn from the content-locality model,
+        # capped so any single delta fits one DEZ page with its header)
+        size = min(
+            self.delta_model.sample_size(),
+            self.config.page_size - DELTA_HEADER_BYTES,
+        )
+        out = Outcome(
+            hit=True,
+            is_read=False,
+            fg_disk_ops=self.raid.write_without_parity_update(lba),
+            fg_compute=self.compress_time,
+        )
+        # the old version must be read from SSD to compute the XOR delta
+        self._ssd_read(1)
+        out.fg_ssd_reads += 1
+
+        if line.state is PageState.CLEAN:
+            self.sets.set_state(lba, PageState.OLD)
+            line.aux = DeltaRef(size=size)
+        else:
+            ref: DeltaRef = line.aux
+            if ref.dez_lpn is None:
+                self.staging.remove(lba)
+            else:
+                self._invalidate_dez_delta(lba, ref)
+            ref.size = size
+            ref.dez_lpn = None
+        self._stale_order.setdefault(self.raid.layout.stripe_of(lba), None)
+        self._stage_delta(lba, size, out)
+        self._maybe_clean(out)
+        return out
+
+    def _write_miss(self, lba: int) -> Outcome:
+        self.stats.write_misses += 1
+        out = Outcome(hit=False, is_read=False, fg_disk_ops=self.raid.write(lba))
+        line = self._admit_and_alloc(lba, PageState.CLEAN)
+        if line is not None:
+            self._on_line_allocated(line, "data")
+            out.bg_ssd_writes += 1
+        self._maybe_clean(out)
+        return out
+
+    # -- staging and the Delta Zone ----------------------------------------------
+
+    def _stage_delta(self, lba: int, size: int, out: Outcome) -> None:
+        if not self.staging.would_fit_after_coalesce(lba, size):
+            self._commit_staging(out)
+            # The commit may have force-cleaned this page's stripe (cache
+            # fully pinned), repairing its parity and reclaiming the line —
+            # the fresh delta is then no longer needed.
+            line = self.sets.lookup(lba)
+            if line is None or line.state is not PageState.OLD:
+                return
+        self.staging.put(lba, size)
+
+    def _commit_staging(self, out: Outcome) -> None:
+        """Compact all staged deltas into DEZ pages and flush them.
+
+        With the default one-page staging buffer everything fits one DEZ
+        page; larger NVRAM buffers are split greedily into page-sized
+        groups.
+        """
+        items = self.staging.drain()
+        if not items:
+            return
+        # greedy first-fit grouping into page-sized DEZ commits
+        groups: list[list] = [[]]
+        used = 0
+        for d in items:
+            need = d.size + DELTA_HEADER_BYTES
+            if groups[-1] and used + need > self.config.page_size:
+                groups.append([])
+                used = 0
+            groups[-1].append(d)
+            used += need
+        for group in groups:
+            self._commit_one_dez_page(group, out)
+
+    def _commit_one_dez_page(self, items: list, out: Outcome) -> None:
+        # an earlier group's forced cleaning may have repaired some of these
+        # stripes already; drop deltas whose page is no longer old
+        items = [
+            d
+            for d in items
+            if (l := self.sets.lookup(d.lba)) is not None
+            and l.state is PageState.OLD
+            and l.aux is not None
+            and l.aux.dez_lpn is None
+        ]
+        if not items:
+            return
+        loc = self._alloc_dez_slot()
+        if loc is None:
+            # Cache completely pinned: repair the stripes of the staged
+            # deltas right now; the deltas then die without a DEZ write.
+            self.forced_cleanings += 1
+            stripes = {self.raid.layout.stripe_of(d.lba) for d in items}
+            staged = {d.lba: d.size for d in items}
+            for stripe in stripes:
+                self._stale_order.pop(stripe, None)
+                self._clean_stripe(stripe, out, dropped_staging=staged)
+            return
+        set_idx, slot = loc
+        lpn = self.meta_pages + self.sets.lpn_of(set_idx, slot)
+        packed = pack_deltas(
+            [(d.lba, d.size, d.payload) for d in items], self.config.page_size
+        )
+        self.dez_pages[lpn] = DezPage(lpn=lpn, set_idx=set_idx, slot=slot, packed=packed)
+        self._ssd_write(lpn, "delta")
+        out.bg_ssd_writes += 1
+        for d in packed.deltas:
+            line = self.sets.lookup(d.lba)
+            if line is None or line.state is not PageState.OLD:
+                raise CacheError(f"staged delta for non-old page {d.lba}")
+            ref: DeltaRef = line.aux
+            ref.dez_lpn = lpn
+            self._record_old(line, ref, d.offset, d.length)
+
+    def _alloc_dez_slot(self) -> tuple[int, int] | None:
+        if (
+            self.fixed_dez_fraction is not None
+            and self.sets.dez_pages >= self.fixed_dez_fraction * self.config.cache_pages
+        ):
+            return None
+        if self.dez_random_placement:
+            loc = self._alloc_dez_random()
+        else:
+            loc = self.sets.alloc_dez()
+        if loc is not None:
+            return loc
+        # no free slot anywhere: evict a clean page from the least-DEZ set
+        victim = self.sets.min_dez_set_with_clean()
+        if victim is None:
+            return None
+        self._drop_line(victim)
+        return self._alloc_dez_random() if self.dez_random_placement else self.sets.alloc_dez()
+
+    def _alloc_dez_random(self) -> tuple[int, int] | None:
+        """Ablation: place DEZ pages in random sets instead of least-loaded."""
+        for _ in range(8):
+            set_idx = int(self._rng.integers(0, self.sets.n_sets))
+            loc = self.sets.alloc_dez_at(set_idx)
+            if loc is not None:
+                return loc
+        return self.sets.alloc_dez()
+
+    def _invalidate_dez_delta(self, lba: int, ref: DeltaRef) -> None:
+        dez = self.dez_pages.get(ref.dez_lpn)
+        if dez is None:
+            raise CacheError(f"dangling DEZ reference for page {lba}")
+        if dez.packed.invalidate(lba) == 0:
+            del self.dez_pages[dez.lpn]
+            self.sets.free_dez(dez.set_idx, dez.slot)
+            self._ssd_trim(dez.lpn)
+
+    # -- cleaning (Section III-D) ---------------------------------------------------
+
+    @property
+    def dirty_pages(self) -> int:
+        """Old + delta pages: what cleaning is triggered on."""
+        return self.sets.count(PageState.OLD) + self.sets.dez_pages
+
+    def _maybe_clean(self, out: Outcome) -> None:
+        limit = self.config.dirty_threshold * self.config.cache_pages
+        if self.dirty_pages <= limit:
+            return
+        target = self.config.low_watermark * self.config.cache_pages
+        while self._stale_order and self.dirty_pages > target:
+            stripe = next(iter(self._stale_order))
+            del self._stale_order[stripe]
+            self._clean_stripe(stripe, out)
+
+    def _clean_stripe(
+        self,
+        stripe: int,
+        out: Outcome,
+        dropped_staging: dict[int, int] | None = None,
+    ) -> None:
+        """Repair one stripe's parity and reclaim its old pages."""
+        stripe_lbas = list(self.raid.layout.stripe_pages(stripe))
+        old_lines = [
+            l
+            for lba in stripe_lbas
+            if (l := self.sets.lookup(lba)) is not None and l.state is PageState.OLD
+        ]
+        cached = [lba for lba in stripe_lbas if lba in self.sets]
+        deltas = {l.lba: b"" for l in old_lines}
+        if dropped_staging:
+            deltas.update({lba: b"" for lba in dropped_staging})
+        if not deltas:
+            out.bg_disk_ops.extend(self.raid.parity_update(stripe, deltas={}, cached_pages=cached))
+            return
+        self.cleanings += 1
+
+        all_cached = len(cached) == len(stripe_lbas)
+        dez_lpns = {
+            l.aux.dez_lpn for l in old_lines if l.aux and l.aux.dez_lpn is not None
+        }
+        # reconstruct-write reads every cached data page; both modes read
+        # the committed delta pages (staged deltas are already in NVRAM)
+        ssd_reads = (len(cached) if all_cached else 0) + len(dez_lpns)
+        if ssd_reads:
+            self._ssd_read(ssd_reads)
+        out.bg_disk_ops.extend(
+            self.raid.parity_update(stripe, deltas=deltas, cached_pages=cached)
+        )
+
+        for line in old_lines:
+            ref: DeltaRef = line.aux
+            if ref.dez_lpn is None:
+                self.staging.remove(line.lba)
+            else:
+                self._invalidate_dez_delta(line.lba, ref)
+            if self.reclaim_merge:
+                # alternative scheme: merge old+delta and keep the page clean
+                line.aux = None
+                self.sets.set_state(line.lba, PageState.CLEAN)
+                self._ssd_write(self._data_lpn(line), "data")
+                out.bg_ssd_writes += 1
+                self._record_clean(line)
+            else:
+                line.aux = None
+                self._drop_line(line)
+
+    def finish(self) -> None:
+        """Repair all remaining stale parity (orderly shutdown)."""
+        sink = Outcome(hit=False, is_read=False)
+        while self._stale_order:
+            stripe = next(iter(self._stale_order))
+            del self._stale_order[stripe]
+            self._clean_stripe(stripe, sink)
+
+    # -- invariants -------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        self.mlog.check_invariants()
+        staged = {d.lba for d in self.staging.snapshot()}
+        for line in self.sets.all_lines():
+            if line.state is PageState.OLD:
+                ref: DeltaRef = line.aux
+                if ref is None:
+                    raise CacheError(f"old page {line.lba} without delta ref")
+                if ref.dez_lpn is None:
+                    if line.lba not in staged:
+                        raise CacheError(f"old page {line.lba}: staged delta missing")
+                else:
+                    dez = self.dez_pages.get(ref.dez_lpn)
+                    if dez is None or line.lba not in dez.packed.valid:
+                        raise CacheError(f"old page {line.lba}: DEZ delta missing")
+            elif line.state is PageState.CLEAN:
+                if line.aux is not None:
+                    raise CacheError(f"clean page {line.lba} carries a delta ref")
+                if line.lba in staged:
+                    raise CacheError(f"clean page {line.lba} has a staged delta")
+        # every valid DEZ entry must belong to an old line pointing back
+        for lpn, dez in self.dez_pages.items():
+            if dez.valid_count == 0:
+                raise CacheError(f"empty DEZ page {lpn} not reclaimed")
+            for lba in dez.packed.valid:
+                line = self.sets.lookup(lba)
+                if line is None or line.state is not PageState.OLD:
+                    raise CacheError(f"DEZ delta for non-old page {lba}")
+                if line.aux.dez_lpn != lpn:
+                    raise CacheError(f"DEZ back-reference mismatch for {lba}")

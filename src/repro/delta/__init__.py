@@ -1,0 +1,16 @@
+"""Delta engine: real XOR+LZ codec, Gaussian ratio model, DEZ packing."""
+
+from .codec import DeltaCodec, mutate_page
+from .model import LOCALITY_LEVELS, GaussianDeltaModel
+from .packer import DELTA_HEADER_BYTES, PackedDelta, PackedPage, pack_deltas
+
+__all__ = [
+    "DeltaCodec",
+    "mutate_page",
+    "LOCALITY_LEVELS",
+    "GaussianDeltaModel",
+    "DELTA_HEADER_BYTES",
+    "PackedDelta",
+    "PackedPage",
+    "pack_deltas",
+]

@@ -1,0 +1,5 @@
+"""Hard disk drive substrate."""
+
+from .hdd import HDD, HDDParams
+
+__all__ = ["HDD", "HDDParams"]

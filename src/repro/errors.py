@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed in the expected format."""
+
+
+class CapacityError(ReproError):
+    """An address or allocation exceeds the capacity of a device."""
+
+
+class FlashError(ReproError):
+    """Illegal flash operation (e.g. program without erase)."""
+
+
+class WornOutError(FlashError):
+    """A flash block exceeded its program/erase endurance budget."""
+
+
+class RaidError(ReproError):
+    """Illegal RAID operation or unrecoverable array state."""
+
+
+class DegradedError(RaidError):
+    """The array has more failed disks than its redundancy tolerates."""
+
+
+class CacheError(ReproError):
+    """Cache state machine violation (invalid page state transition)."""
+
+
+class RecoveryError(ReproError):
+    """Crash/failure recovery could not restore a consistent state."""

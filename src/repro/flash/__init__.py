@@ -1,0 +1,26 @@
+"""Flash SSD substrate: geometry, FTL, wear tracking, device model."""
+
+from .geometry import DEFAULT_GEOMETRY, FlashGeometry
+from .ftl import FREE, PageMappedFTL
+from .wear import (
+    MLC_ENDURANCE,
+    SLC_ENDURANCE,
+    LifetimeEstimate,
+    WearTracker,
+    relative_lifetime,
+)
+from .device import SSD, SSDLatency
+
+__all__ = [
+    "DEFAULT_GEOMETRY",
+    "FlashGeometry",
+    "FREE",
+    "PageMappedFTL",
+    "MLC_ENDURANCE",
+    "SLC_ENDURANCE",
+    "LifetimeEstimate",
+    "WearTracker",
+    "relative_lifetime",
+    "SSD",
+    "SSDLatency",
+]

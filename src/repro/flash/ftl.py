@@ -1,0 +1,296 @@
+"""Page-mapped Flash Translation Layer.
+
+The FTL hides flash's no-in-place-update constraint: logical page
+writes are appended to active blocks (one per plane, filled round-robin
+so consecutive writes spread across channels), the previous physical
+copy is invalidated, and garbage collection reclaims blocks when free
+space runs low.  Write amplification (NAND writes / host writes) is the
+quantity that couples host-visible cache traffic to real wear.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigError, FlashError
+from .geometry import FlashGeometry
+from .wear import MLC_ENDURANCE, WearTracker
+
+FREE = -1
+
+
+class PageMappedFTL:
+    """Log-structured page-mapping FTL with greedy garbage collection."""
+
+    #: Supported GC victim-selection policies.
+    GC_POLICIES = ("greedy", "fifo", "cost-benefit")
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        over_provisioning: float = 0.07,
+        gc_free_block_threshold: int | None = None,
+        endurance: int = MLC_ENDURANCE,
+        gc_policy: str = "greedy",
+        hot_cold: bool = False,
+    ) -> None:
+        if not 0.0 <= over_provisioning < 0.5:
+            raise ConfigError("over_provisioning must be in [0, 0.5)")
+        if gc_policy not in self.GC_POLICIES:
+            raise ConfigError(
+                f"unknown gc_policy {gc_policy!r}; choose from {self.GC_POLICIES}"
+            )
+        self.gc_policy = gc_policy
+        #: Hot/cold separation: GC relocations (cold data, by definition it
+        #: survived a whole block's lifetime) go to their own frontier so
+        #: they stop being re-copied alongside hot pages — the technique
+        #: behind Kgil et al.'s split read/write regions (§V-C).
+        self.hot_cold = hot_cold
+        self.geometry = geometry
+        self.wear = WearTracker(geometry, endurance=endurance)
+        self.exported_pages = int(geometry.total_pages * (1.0 - over_provisioning))
+        if self.exported_pages < geometry.pages_per_block:
+            raise ConfigError("geometry too small for requested over-provisioning")
+
+        g = geometry
+        self._l2p = np.full(self.exported_pages, FREE, dtype=np.int64)
+        self._p2l = np.full(g.total_pages, FREE, dtype=np.int64)
+        self._valid_in_block = np.zeros(g.total_blocks, dtype=np.int32)
+        self._writeptr_in_block = np.zeros(g.total_blocks, dtype=np.int32)
+
+        # Free-block pools and the currently-filling block, per plane.
+        self._free_blocks: list[deque[int]] = [deque() for _ in range(g.planes)]
+        for block in range(g.total_blocks):
+            self._free_blocks[g.plane_of_block(block)].append(block)
+        self._active_block = [self._free_blocks[p].popleft() for p in range(g.planes)]
+        #: cold-data frontier (GC relocations) when hot/cold separation is on;
+        #: allocated lazily so small geometries are not forced to reserve it.
+        self._active_cold: list[int] = [FREE] * g.planes if hot_cold else []
+        self._next_plane = 0
+        self._program_seq = 0
+        self._seal_seq = np.full(g.total_blocks, -1, dtype=np.int64)
+
+        if gc_free_block_threshold is None:
+            gc_free_block_threshold = max(2, g.total_blocks // 64)
+        self.gc_free_block_threshold = gc_free_block_threshold
+
+        # Traffic counters (pages).
+        self.host_writes = 0
+        self.host_reads = 0
+        self.gc_relocations = 0
+        self.gc_runs = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def nand_writes(self) -> int:
+        """Total pages programmed, including GC relocations."""
+        return self.host_writes + self.gc_relocations
+
+    @property
+    def write_amplification(self) -> float:
+        return self.nand_writes / self.host_writes if self.host_writes else 1.0
+
+    @property
+    def free_block_count(self) -> int:
+        return sum(len(q) for q in self._free_blocks)
+
+    def physical_of(self, lpn: int) -> int:
+        """Physical page of logical page ``lpn`` (FREE if unmapped)."""
+        self._check_lpn(lpn)
+        return int(self._l2p[lpn])
+
+    def is_mapped(self, lpn: int) -> bool:
+        return self.physical_of(lpn) != FREE
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.exported_pages:
+            raise CapacityError(
+                f"logical page {lpn} out of range [0, {self.exported_pages})"
+            )
+
+    # -- host operations ---------------------------------------------------
+
+    def read(self, lpn: int) -> int:
+        """Read a logical page; returns the physical page serving it."""
+        self._check_lpn(lpn)
+        ppn = int(self._l2p[lpn])
+        if ppn == FREE:
+            raise FlashError(f"read of unmapped logical page {lpn}")
+        self.host_reads += 1
+        return ppn
+
+    def write(self, lpn: int) -> int:
+        """Write a logical page; returns the new physical page."""
+        self._check_lpn(lpn)
+        old = int(self._l2p[lpn])
+        if old != FREE:
+            self._invalidate_physical(old)
+        ppn = self._allocate_page(for_gc=False)
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self.host_writes += 1
+        self._maybe_gc()
+        return ppn
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (cache eviction)."""
+        self._check_lpn(lpn)
+        old = int(self._l2p[lpn])
+        if old != FREE:
+            self._invalidate_physical(old)
+            self._l2p[lpn] = FREE
+
+    # -- internals --------------------------------------------------------
+
+    def _invalidate_physical(self, ppn: int) -> None:
+        block = ppn // self.geometry.pages_per_block
+        self._p2l[ppn] = FREE
+        self._valid_in_block[block] -= 1
+        if self._valid_in_block[block] < 0:
+            raise FlashError(f"negative valid count in block {block}")
+
+    def _frontier(self, for_gc: bool) -> list[int]:
+        """The active-block list this write should append to."""
+        if self.hot_cold and for_gc:
+            return self._active_cold
+        return self._active_block
+
+    def _allocate_page(self, for_gc: bool) -> int:
+        g = self.geometry
+        frontier = self._frontier(for_gc)
+        for _ in range(g.planes):
+            plane = self._next_plane
+            self._next_plane = (self._next_plane + 1) % g.planes
+            block = frontier[plane]
+            if block == FREE or self._writeptr_in_block[block] >= g.pages_per_block:
+                self._seal(block)
+                block = self._new_active_block(plane, frontier)
+                if block == FREE:
+                    continue
+            offset = self._writeptr_in_block[block]
+            self._writeptr_in_block[block] += 1
+            self._valid_in_block[block] += 1
+            self._program_seq += 1
+            if self._writeptr_in_block[block] >= g.pages_per_block:
+                self._seal(block)
+            return block * g.pages_per_block + offset
+        if self.hot_cold and for_gc:
+            # cold frontier starved: fall back to the shared hot frontier
+            self.hot_cold = False
+            try:
+                return self._allocate_page(for_gc)
+            finally:
+                self.hot_cold = True
+        raise CapacityError(
+            "flash device out of free blocks"
+            + ("" if for_gc else " (GC could not keep up)")
+        )
+
+    def _seal(self, block: int) -> None:
+        if block != FREE and self._seal_seq[block] < 0:
+            self._seal_seq[block] = self._program_seq
+
+    def _new_active_block(self, plane: int, frontier: list[int] | None = None) -> int:
+        if frontier is None:
+            frontier = self._active_block
+        pool = self._free_blocks[plane]
+        if not pool:
+            frontier[plane] = FREE
+            return FREE
+        if len(pool) > 1:
+            # pick the least-worn free block: cheap static wear levelling
+            candidates = np.fromiter(pool, dtype=np.int64)
+            block = self.wear.least_worn(candidates)
+            pool.remove(block)
+        else:
+            block = pool.popleft()
+        frontier[plane] = block
+        self._seal_seq[block] = -1
+        return block
+
+    def _maybe_gc(self) -> None:
+        while self.free_block_count < self.gc_free_block_threshold:
+            if not self._collect_once():
+                break
+
+    def _collect_once(self) -> bool:
+        """One GC pass: pick a victim per policy, relocate, erase."""
+        g = self.geometry
+        ppb = g.pages_per_block
+        # Candidates: fully-written blocks that are not active.
+        full = self._writeptr_in_block >= ppb
+        for block in self._active_block:
+            if block != FREE:
+                full[block] = False
+        for block in self._active_cold:
+            if block != FREE:
+                full[block] = False
+        candidates = np.flatnonzero(full)
+        if candidates.size == 0:
+            return False
+        victim = self._select_victim(candidates, ppb)
+        if self._valid_in_block[victim] >= ppb:
+            return False  # nothing reclaimable anywhere
+        base = victim * ppb
+        for ppn in range(base, base + ppb):
+            lpn = int(self._p2l[ppn])
+            if lpn == FREE:
+                continue
+            new_ppn = self._allocate_page(for_gc=True)
+            self._l2p[lpn] = new_ppn
+            self._p2l[new_ppn] = lpn
+            self._p2l[ppn] = FREE
+            self._valid_in_block[victim] -= 1
+            self.gc_relocations += 1
+        self._erase_block(victim)
+        self.gc_runs += 1
+        return True
+
+    def _select_victim(self, candidates: np.ndarray, ppb: int) -> int:
+        """GC victim per the configured policy.
+
+        * greedy — fewest valid pages (default; best immediate yield);
+        * fifo — oldest sealed block (even wear, poor yield on skew);
+        * cost-benefit — LFS formula age * free_space / (2 * utilisation):
+          prefers old blocks whose remaining valid data has gone cold.
+        """
+        valid = self._valid_in_block[candidates].astype(np.float64)
+        if self.gc_policy == "greedy":
+            return int(candidates[np.argmin(valid)])
+        if self.gc_policy == "fifo":
+            # oldest sealed block that actually has reclaimable space;
+            # relocating a fully-valid block would free nothing net
+            reclaimable = candidates[valid < ppb]
+            if reclaimable.size == 0:
+                return int(candidates[0])  # caller detects full-valid and stops
+            return int(reclaimable[np.argmin(self._seal_seq[reclaimable])])
+        age = (self._program_seq - self._seal_seq[candidates]).astype(np.float64)
+        u = valid / ppb
+        benefit = age * (1.0 - u) / (2.0 * u + 1e-9)
+        return int(candidates[np.argmax(benefit)])
+
+    def _erase_block(self, block: int) -> None:
+        if self._valid_in_block[block] != 0:
+            raise FlashError(f"erasing block {block} with valid pages")
+        self._writeptr_in_block[block] = 0
+        self._seal_seq[block] = -1
+        self.wear.record_erase(block)
+        self._free_blocks[self.geometry.plane_of_block(block)].append(block)
+
+    def check_invariants(self) -> None:
+        """Consistency checks used by the test suite."""
+        g = self.geometry
+        mapped = self._l2p[self._l2p != FREE]
+        if len(np.unique(mapped)) != len(mapped):
+            raise FlashError("two logical pages map to one physical page")
+        for ppn in mapped:
+            if self._l2p[self._p2l[ppn]] != ppn:
+                raise FlashError(f"l2p/p2l disagree at physical page {ppn}")
+        per_block = np.bincount(
+            mapped // g.pages_per_block, minlength=g.total_blocks
+        )
+        if not np.array_equal(per_block, self._valid_in_block):
+            raise FlashError("valid-count bookkeeping is inconsistent")

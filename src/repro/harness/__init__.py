@@ -1,0 +1,22 @@
+"""Experiment harness: simulation runner, per-figure drivers, CLI."""
+
+from .runner import (
+    POLICIES,
+    SimulationResult,
+    build_policy,
+    make_raid_for_trace,
+    simulate_policy,
+)
+from .report import FigureResult, render_table
+from .figures import ALL_FIGURES
+
+__all__ = [
+    "POLICIES",
+    "SimulationResult",
+    "build_policy",
+    "make_raid_for_trace",
+    "simulate_policy",
+    "FigureResult",
+    "render_table",
+    "ALL_FIGURES",
+]

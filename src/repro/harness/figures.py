@@ -1,0 +1,402 @@
+"""Drivers that regenerate every table and figure of the evaluation.
+
+Each ``figN`` / ``tableN`` function reruns the corresponding experiment
+of Section IV at a configurable ``scale`` (footprints, request counts
+and cache sizes all shrink by the same factor, preserving per-page
+temporal locality and therefore the figures' shapes) and returns a
+:class:`FigureResult` whose rows mirror the paper's plotted series.
+
+The index lives in DESIGN.md; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cache.base import CacheConfig
+from ..raid.array import RAIDArray
+from ..raid.layout import RaidLevel
+from ..sim.closedloop import FioConfig, run_closed_loop
+from ..sim.openloop import replay_trace
+from ..sim.system import TimedSystem
+from ..traces.trace import Trace
+from ..traces.workloads import (
+    ALL_WORKLOADS,
+    READ_DOMINANT,
+    TABLE1_SPECS,
+    WRITE_DOMINANT,
+    make_workload,
+    workload_spec,
+)
+from .report import FigureResult
+from .runner import build_policy, make_raid_for_trace, simulate_policy
+
+#: KDD variants at the three content-locality levels the paper evaluates.
+KDD_VARIANTS = {"kdd-50": 0.50, "kdd-25": 0.25, "kdd-12": 0.12}
+
+#: Cache sizes as fractions of a workload's unique footprint, mirroring
+#: the x-axis ranges of Figures 5-8.
+CACHE_FRACTIONS = (0.025, 0.05, 0.10, 0.20)
+
+DEFAULT_SCALE = 0.01
+
+
+def _cache_sizes(workload: str, scale: float,
+                 fractions: Sequence[float] = CACHE_FRACTIONS) -> list[int]:
+    unique = workload_spec(workload, scale).unique_pages
+    return [max(64, int(unique * f)) for f in fractions]
+
+
+def _run_cell(
+    policy: str,
+    trace: Trace,
+    cache_pages: int,
+    seed: int = 0,
+    **config_kw,
+) -> dict:
+    """One (policy, workload, cache size) simulation -> a result row."""
+    if policy in KDD_VARIANTS:
+        row = simulate_policy(
+            "kdd",
+            trace,
+            cache_pages,
+            mean_compression=KDD_VARIANTS[policy],
+            seed=seed,
+            **config_kw,
+        ).row()
+        row["policy"] = policy
+        return row
+    return simulate_policy(policy, trace, cache_pages, seed=seed, **config_kw).row()
+
+
+# ---------------------------------------------------------------------------
+# Table I — workload characteristics
+# ---------------------------------------------------------------------------
+
+def table1(scale: float = DEFAULT_SCALE) -> FigureResult:
+    """Regenerate Table I from the calibrated synthetic traces."""
+    result = FigureResult(
+        "table1",
+        "Characteristics of I/O workload traces (scaled)",
+        notes=[
+            f"generated at scale={scale}; multiply page/request counts by "
+            f"{1 / scale:g} to compare with the paper's absolute numbers",
+        ],
+    )
+    for name in ALL_WORKLOADS:
+        row = make_workload(name, scale=scale).stats().row()
+        spec = TABLE1_SPECS[name]
+        row["paper_read_ratio"] = round(
+            spec.read_requests / (spec.read_requests + spec.write_requests), 2
+        )
+        result.rows.append(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — metadata partition size vs metadata I/O share
+# ---------------------------------------------------------------------------
+
+def fig4(
+    scale: float = DEFAULT_SCALE,
+    partition_fracs: Sequence[float] = (0.0039, 0.0059, 0.0078, 0.0098),
+    cache_fraction: float = 0.20,
+    seed: int = 0,
+) -> FigureResult:
+    """Metadata I/O as a share of cache writes vs metadata partition size.
+
+    The paper sweeps 0.39-0.98 % of the SSD for KDD with medium content
+    locality and reports the share staying under ~1.8 % at 0.59 %.
+    """
+    result = FigureResult(
+        "fig4",
+        "Effect of the metadata partition size on metadata I/Os (KDD-25%)",
+    )
+    for name in ALL_WORKLOADS:
+        trace = make_workload(name, scale=scale)
+        cache_pages = _cache_sizes(name, scale, (cache_fraction,))[0]
+        for frac in partition_fracs:
+            r = simulate_policy(
+                "kdd",
+                trace,
+                cache_pages,
+                mean_compression=0.25,
+                meta_partition_frac=frac,
+                seed=seed,
+            )
+            result.rows.append(
+                {
+                    "workload": name,
+                    "cache_pages": cache_pages,
+                    "meta_partition_pct": round(frac * 100, 2),
+                    "meta_io_pct": round(r.meta_fraction * 100, 3),
+                    "meta_pages_written": r.stats.meta_writes,
+                }
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-8 — hit ratio and SSD write traffic vs cache size
+# ---------------------------------------------------------------------------
+
+def _sweep(
+    workloads: Sequence[str],
+    policies: Sequence[str],
+    scale: float,
+    fractions: Sequence[float],
+    seed: int,
+) -> list[dict]:
+    rows = []
+    for name in workloads:
+        trace = make_workload(name, scale=scale)
+        for cache_pages in _cache_sizes(name, scale, fractions):
+            for policy in policies:
+                rows.append(_run_cell(policy, trace, cache_pages, seed=seed))
+    return rows
+
+
+def fig5(scale: float = DEFAULT_SCALE, seed: int = 0,
+         fractions: Sequence[float] = CACHE_FRACTIONS) -> FigureResult:
+    """Cache hit ratios, write-dominant traces (Fin1, Hm0)."""
+    result = FigureResult("fig5", "Hit ratios under write-dominant traces")
+    result.rows = _sweep(
+        WRITE_DOMINANT, ["wt", "leavo", "kdd-50", "kdd-25", "kdd-12"],
+        scale, fractions, seed,
+    )
+    result.notes.append("expected order: WT >= KDD-12 >= KDD-25 >= KDD-50 >= LeavO")
+    return result
+
+
+def fig6(scale: float = DEFAULT_SCALE, seed: int = 0,
+         fractions: Sequence[float] = CACHE_FRACTIONS) -> FigureResult:
+    """SSD write traffic, write-dominant traces (adds WA)."""
+    result = FigureResult("fig6", "SSD write traffic under write-dominant traces")
+    result.rows = _sweep(
+        WRITE_DOMINANT, ["wa", "wt", "leavo", "kdd-50", "kdd-25", "kdd-12"],
+        scale, fractions, seed,
+    )
+    result.notes.append("expected order: WA < KDD-12 < KDD-25 < KDD-50 < WT < LeavO")
+    return result
+
+
+def fig7(scale: float = DEFAULT_SCALE, seed: int = 0,
+         fractions: Sequence[float] = CACHE_FRACTIONS) -> FigureResult:
+    """Cache hit ratios, read-dominant traces (Fin2, Web0)."""
+    result = FigureResult("fig7", "Hit ratios under read-dominant traces")
+    result.rows = _sweep(
+        READ_DOMINANT, ["wt", "leavo", "kdd-50", "kdd-25", "kdd-12"],
+        scale, fractions, seed,
+    )
+    result.notes.append(
+        "Web0 at small caches: KDD can beat WT (write locality >> read locality)"
+    )
+    return result
+
+
+def fig8(scale: float = DEFAULT_SCALE, seed: int = 0,
+         fractions: Sequence[float] = CACHE_FRACTIONS) -> FigureResult:
+    """SSD write traffic, read-dominant traces."""
+    result = FigureResult("fig8", "SSD write traffic under read-dominant traces")
+    result.rows = _sweep(
+        READ_DOMINANT, ["wa", "wt", "leavo", "kdd-50", "kdd-25", "kdd-12"],
+        scale, fractions, seed,
+    )
+    result.notes.append("gap to WA narrows; KDD-12 can undercut WA at large caches")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — open-loop trace replay response times
+# ---------------------------------------------------------------------------
+
+FIG9_POLICIES = ("nossd", "wa", "wt", "leavo", "kdd")
+
+
+def fig9(
+    scale: float = 0.004,
+    seed: int = 0,
+    cache_fraction: float = 0.10,
+    max_requests: int = 15_000,
+    target_iops: float = 120.0,
+) -> FigureResult:
+    """Average response time replaying each trace (RAIDmeter experiment).
+
+    ``target_iops`` rescales arrival times so a 5-disk RAID-5 runs near
+    (not beyond) saturation, like the paper's testbed; KDD uses medium
+    content locality (25 %) as in Section IV-B1.
+    """
+    result = FigureResult("fig9", "Average response time, open-loop trace replay")
+    for name in ALL_WORKLOADS:
+        trace = make_workload(name, scale=scale)
+        spec = workload_spec(name, scale)
+        time_scale = spec.iops / target_iops
+        cache_pages = _cache_sizes(name, scale, (cache_fraction,))[0]
+        for policy in FIG9_POLICIES:
+            raid = make_raid_for_trace(trace)
+            config = CacheConfig(cache_pages=cache_pages, mean_compression=0.25,
+                                 seed=seed)
+            system = TimedSystem(build_policy(policy, config, raid))
+            rep = replay_trace(
+                system, trace, max_requests=max_requests, time_scale=time_scale
+            )
+            row = {"workload": name, "policy": policy}
+            row.update(rep.row())
+            result.rows.append(row)
+    result.notes.append(
+        "expected: KDD ~ LeavO < WT/WA; WT/WA beat Nossd only on read-heavy Fin2"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-11 — FIO closed-loop benchmark
+# ---------------------------------------------------------------------------
+
+FIO_READ_RATES = (0.0, 0.25, 0.50, 0.75)
+
+
+def _fio_cell(
+    policy: str,
+    read_rate: float,
+    total_requests: int,
+    working_set_pages: int,
+    cache_pages: int,
+    nthreads: int,
+    seed: int,
+):
+    raid = RAIDArray(
+        RaidLevel.RAID5,
+        ndisks=5,
+        chunk_pages=16,
+        pages_per_disk=max(1 << 14, 2 * working_set_pages),
+    )
+    config = CacheConfig(cache_pages=cache_pages, mean_compression=0.25, seed=seed)
+    system = TimedSystem(build_policy(policy, config, raid))
+    rep = run_closed_loop(
+        system,
+        FioConfig(
+            total_requests=total_requests,
+            working_set_pages=working_set_pages,
+            read_rate=read_rate,
+            nthreads=nthreads,
+            seed=seed,
+        ),
+    )
+    return system, rep
+
+
+def fig10(
+    total_requests: int = 6000,
+    working_set_pages: int = 80_000,
+    cache_pages: int = 50_000,
+    nthreads: int = 16,
+    seed: int = 0,
+) -> FigureResult:
+    """Average response time under the FIO zipf benchmark (Section IV-B3).
+
+    Paper setup scaled down: working set larger than the cache, 16
+    threads, Zipf alpha 1.0001, read rates 0-75 %.
+    """
+    result = FigureResult("fig10", "Average response time under FIO benchmark")
+    for read_rate in FIO_READ_RATES:
+        for policy in FIG9_POLICIES:
+            _, rep = _fio_cell(
+                policy, read_rate, total_requests, working_set_pages,
+                cache_pages, nthreads, seed,
+            )
+            row = {"read_rate": read_rate, "policy": policy}
+            row.update(rep.row())
+            result.rows.append(row)
+    result.notes.append("expected: KDD ~ LeavO << WT ~ WA ~ Nossd at low read rates")
+    return result
+
+
+def fig11(
+    total_requests: int = 6000,
+    working_set_pages: int = 80_000,
+    cache_pages: int = 50_000,
+    nthreads: int = 16,
+    seed: int = 0,
+) -> FigureResult:
+    """SSD write traffic under the FIO benchmark."""
+    result = FigureResult("fig11", "SSD write traffic under FIO benchmark")
+    for read_rate in FIO_READ_RATES:
+        for policy in ("wa", "wt", "leavo", "kdd"):
+            system, rep = _fio_cell(
+                policy, read_rate, total_requests, working_set_pages,
+                cache_pages, nthreads, seed,
+            )
+            stats = system.policy.stats
+            result.rows.append(
+                {
+                    "read_rate": read_rate,
+                    "policy": policy,
+                    "ssd_write_pages": stats.ssd_writes,
+                    "fills": stats.fill_writes,
+                    "data": stats.data_writes,
+                    "delta": stats.delta_writes,
+                    "meta": stats.meta_writes,
+                }
+            )
+    result.notes.append("expected: WA least; KDD < WT < LeavO; WA approaches KDD as reads grow")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table II — qualitative comparison, derived from measurements
+# ---------------------------------------------------------------------------
+
+def table2(
+    total_requests: int = 4000,
+    working_set_pages: int = 40_000,
+    cache_pages: int = 25_000,
+    nthreads: int = 16,
+    seed: int = 0,
+) -> FigureResult:
+    """Derive Table II (latency / endurance classes) from measurements.
+
+    A policy gets 'Low' latency if it beats the no-cache baseline by more
+    than 25 % on a write-heavy mix, and 'Good' endurance if its cache
+    write traffic is within 3x of write-around's.
+    """
+    baseline_sys, baseline = _fio_cell(
+        "nossd", 0.25, total_requests, working_set_pages, cache_pages, nthreads, seed
+    )
+    wa_sys, _ = _fio_cell(
+        "wa", 0.25, total_requests, working_set_pages, cache_pages, nthreads, seed
+    )
+    wa_writes = max(1, wa_sys.policy.stats.ssd_writes)
+    result = FigureResult("table2", "Comparison of different caching policies")
+    for policy in ("wt", "wa", "leavo", "kdd"):
+        system, rep = _fio_cell(
+            policy, 0.25, total_requests, working_set_pages, cache_pages,
+            nthreads, seed,
+        )
+        speedup = 1.0 - rep.latency.mean / baseline.latency.mean
+        writes_vs_wa = system.policy.stats.ssd_writes / wa_writes
+        result.rows.append(
+            {
+                "policy": policy,
+                "io_latency": "Low" if speedup > 0.25 else "High",
+                "ssd_endurance": "Good" if writes_vs_wa <= 3.0 else "Bad",
+                "latency_reduction_vs_nossd_pct": round(100 * speedup, 1),
+                "ssd_writes_vs_wa": round(writes_vs_wa, 2),
+            }
+        )
+    result.notes.append("paper's Table II: WT/WA high latency; WT/LeavO bad endurance")
+    return result
+
+
+ALL_FIGURES = {
+    "table1": table1,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "table2": table2,
+}

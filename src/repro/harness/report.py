@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import ConfigError
+
+
+def render_table(rows: Sequence[dict[str, Any]], headers: Sequence[str] | None = None) -> str:
+    """Align a list of dict rows into a monospace table."""
+    if not rows:
+        return "(no rows)"
+    if headers is None:
+        headers = list(rows[0].keys())
+    table = [[str(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in table)) for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in table]
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table/figure: rows plus provenance."""
+
+    figure_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = [f"=== {self.figure_id}: {self.title} ===", render_table(self.rows)]
+        out += [f"note: {n}" for n in self.notes]
+        return "\n".join(out)
+
+    def series(self, x: str, y: str, key: str) -> dict[Any, list[tuple[Any, Any]]]:
+        """Group rows into plot-ready (x, y) series keyed by column ``key``."""
+        for col in (x, y, key):
+            if self.rows and col not in self.rows[0]:
+                raise ConfigError(f"no column {col!r} in figure rows")
+        series: dict[Any, list[tuple[Any, Any]]] = {}
+        for row in self.rows:
+            series.setdefault(row[key], []).append((row[x], row[y]))
+        for points in series.values():
+            points.sort()
+        return series

@@ -1,0 +1,12 @@
+"""Battery-backed NVRAM buffers (staging buffer + metadata buffer)."""
+
+from .staging import StagedDelta, StagingBuffer
+from .metabuffer import MappingEntry, MetadataBuffer, PageState
+
+__all__ = [
+    "StagedDelta",
+    "StagingBuffer",
+    "MappingEntry",
+    "MetadataBuffer",
+    "PageState",
+]

@@ -1,0 +1,100 @@
+"""NVRAM staging buffer for freshly generated deltas.
+
+Write hits produce deltas that are first accumulated in a small
+battery-backed buffer managed FIFO (Section III-B).  Write coalescing
+applies: only the newest delta per DAZ page is kept (Section III-C).
+When the buffer cannot take the next delta, its contents are compacted
+into a single DEZ page and committed to flash.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..delta.packer import DELTA_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class StagedDelta:
+    """One delta waiting in NVRAM."""
+
+    lba: int
+    size: int
+    payload: bytes | None = None
+
+
+class StagingBuffer:
+    """FIFO delta buffer with per-page coalescing."""
+
+    def __init__(self, capacity_bytes: int = 4096) -> None:
+        if capacity_bytes < DELTA_HEADER_BYTES + 1:
+            raise ConfigError("staging buffer too small for any delta")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[int, StagedDelta] = OrderedDict()
+        self._used = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lba: int) -> bool:
+        return lba in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, lba: int) -> StagedDelta | None:
+        return self._entries.get(lba)
+
+    def _footprint(self, size: int) -> int:
+        return size + DELTA_HEADER_BYTES
+
+    def fits(self, size: int) -> bool:
+        """Would a new delta of ``size`` bytes fit right now?"""
+        return self._used + self._footprint(size) <= self.capacity_bytes
+
+    def would_fit_after_coalesce(self, lba: int, size: int) -> bool:
+        used = self._used
+        if lba in self._entries:
+            used -= self._footprint(self._entries[lba].size)
+        return used + self._footprint(size) <= self.capacity_bytes
+
+    def put(self, lba: int, size: int, payload: bytes | None = None) -> None:
+        """Insert/overwrite the delta for ``lba``.
+
+        Raises :class:`ConfigError` if it cannot fit — callers must
+        drain (:meth:`drain`) first; the cache layer does this by
+        committing a DEZ page.
+        """
+        if size < 1:
+            raise ConfigError("delta size must be >= 1 byte")
+        if not self.would_fit_after_coalesce(lba, size):
+            raise ConfigError("staging buffer full; drain before put")
+        old = self._entries.pop(lba, None)
+        if old is not None:
+            self._used -= self._footprint(old.size)
+            self.coalesced += 1
+        self._entries[lba] = StagedDelta(lba=lba, size=size, payload=payload)
+        self._used += self._footprint(size)
+
+    def remove(self, lba: int) -> bool:
+        """Drop the delta for ``lba`` (invalidation); True if present."""
+        old = self._entries.pop(lba, None)
+        if old is None:
+            return False
+        self._used -= self._footprint(old.size)
+        return True
+
+    def drain(self) -> list[StagedDelta]:
+        """Remove and return all staged deltas in FIFO order."""
+        out = list(self._entries.values())
+        self._entries.clear()
+        self._used = 0
+        return out
+
+    def snapshot(self) -> list[StagedDelta]:
+        """Non-destructive copy (what survives a power failure)."""
+        return list(self._entries.values())

@@ -1,0 +1,52 @@
+"""RAID substrate: GF(256), parity math, striping layouts, the array."""
+
+from .gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow, generator_power
+from .parity import (
+    apply_delta_to_p,
+    compute_p,
+    compute_q,
+    recover_one_data,
+    recover_two_data,
+    update_p,
+    verify_stripe,
+    xor_blocks,
+)
+from .layout import PageLocation, RaidLayout, RaidLevel
+from .array import DiskOp, OpKind, RaidCounters, RAIDArray
+from .rebuild import RebuildReport, rebuild_disk, resync_stale_parity
+from .smallwrite import AfraidRaid, ParityLoggingRaid, SmallWriteCounters
+from .logstructured import LogStructuredRaid
+from .tiered import TierCounters, TieredRaid
+
+__all__ = [
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_pow",
+    "generator_power",
+    "apply_delta_to_p",
+    "compute_p",
+    "compute_q",
+    "recover_one_data",
+    "recover_two_data",
+    "update_p",
+    "verify_stripe",
+    "xor_blocks",
+    "PageLocation",
+    "RaidLayout",
+    "RaidLevel",
+    "DiskOp",
+    "OpKind",
+    "RaidCounters",
+    "RAIDArray",
+    "RebuildReport",
+    "rebuild_disk",
+    "resync_stale_parity",
+    "AfraidRaid",
+    "ParityLoggingRaid",
+    "SmallWriteCounters",
+    "LogStructuredRaid",
+    "TierCounters",
+    "TieredRaid",
+]

@@ -1,0 +1,85 @@
+"""Arithmetic in GF(2^8), the field behind RAID-6 Q parity.
+
+Uses the conventional polynomial 0x11D (x^8 + x^4 + x^3 + x^2 + 1) and
+log/antilog tables for O(1) multiply/divide.  All operations are
+vectorised over numpy uint8 arrays so parity over whole 4 KiB pages is
+a handful of table lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RaidError
+
+_POLY = 0x11D
+_GENERATOR = 2
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _POLY
+    exp[255:510] = exp[0:255]  # doubled table avoids a modulo in mul
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def gf_add(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
+    """Addition in GF(2^8) is XOR."""
+    return a ^ b
+
+
+def gf_mul(a: np.ndarray | int, b: int) -> np.ndarray | int:
+    """Multiply array/scalar ``a`` by scalar ``b`` in GF(2^8)."""
+    if not 0 <= b <= 255:
+        raise RaidError(f"scalar {b} outside GF(256)")
+    if b == 0:
+        return np.zeros_like(a) if isinstance(a, np.ndarray) else 0
+    if b == 1:
+        return a.copy() if isinstance(a, np.ndarray) else a
+    log_b = int(LOG_TABLE[b])
+    if isinstance(a, np.ndarray):
+        out = np.zeros_like(a)
+        nz = a != 0
+        out[nz] = EXP_TABLE[LOG_TABLE[a[nz]] + log_b]
+        return out
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[int(LOG_TABLE[a]) + log_b])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Scalar division in GF(2^8)."""
+    if b == 0:
+        raise RaidError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[(int(LOG_TABLE[a]) - int(LOG_TABLE[b])) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse."""
+    return gf_div(1, a)
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    """``base ** exponent`` in GF(2^8)."""
+    if base == 0:
+        if exponent == 0:
+            return 1
+        return 0
+    return int(EXP_TABLE[(int(LOG_TABLE[base]) * exponent) % 255])
+
+
+def generator_power(i: int) -> int:
+    """g^i for the RAID-6 Q coefficients (g = 2)."""
+    return gf_pow(_GENERATOR, i)

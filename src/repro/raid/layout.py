@@ -1,0 +1,166 @@
+"""RAID striping layouts: logical page -> (stripe, disk, disk page).
+
+Implements the layouts the paper's storage substrate needs:
+
+* RAID-0 (striping, no redundancy) — baseline,
+* RAID-1 (mirroring),
+* RAID-5 left-symmetric (Linux MD default; the testbed config),
+* RAID-6 left-symmetric with adjacent P and Q.
+
+Addresses are page-granular; ``chunk_pages`` pages form one chunk (the
+paper's 64 KiB chunk = 16 x 4 KiB pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigError
+
+
+class RaidLevel(Enum):
+    RAID0 = 0
+    RAID1 = 1
+    RAID5 = 5
+    RAID6 = 6
+
+
+@dataclass(frozen=True)
+class PageLocation:
+    """Physical placement of one logical page."""
+
+    stripe: int
+    disk: int
+    disk_page: int
+
+
+class RaidLayout:
+    """Address arithmetic for a striped array.
+
+    ``ndisks`` is the member count; usable data chunks per stripe is
+    ``ndisks - parity_disks`` (RAID-1: capacity of a single member).
+    """
+
+    def __init__(
+        self,
+        level: RaidLevel,
+        ndisks: int,
+        chunk_pages: int = 16,
+        pages_per_disk: int | None = None,
+    ) -> None:
+        if chunk_pages < 1:
+            raise ConfigError("chunk_pages must be >= 1")
+        minimum = {
+            RaidLevel.RAID0: 2,
+            RaidLevel.RAID1: 2,
+            RaidLevel.RAID5: 3,
+            RaidLevel.RAID6: 4,
+        }[level]
+        if ndisks < minimum:
+            raise ConfigError(f"{level.name} needs at least {minimum} disks")
+        self.level = level
+        self.ndisks = ndisks
+        self.chunk_pages = chunk_pages
+        self.pages_per_disk = pages_per_disk
+
+    # -- derived parameters ------------------------------------------------
+
+    @property
+    def parity_disks(self) -> int:
+        return {
+            RaidLevel.RAID0: 0,
+            RaidLevel.RAID1: 0,  # mirroring is replication, not parity
+            RaidLevel.RAID5: 1,
+            RaidLevel.RAID6: 2,
+        }[self.level]
+
+    @property
+    def data_disks_per_stripe(self) -> int:
+        if self.level is RaidLevel.RAID1:
+            return 1
+        return self.ndisks - self.parity_disks
+
+    @property
+    def stripe_data_pages(self) -> int:
+        """Logical pages covered by one stripe."""
+        return self.data_disks_per_stripe * self.chunk_pages
+
+    @property
+    def fault_tolerance(self) -> int:
+        return {
+            RaidLevel.RAID0: 0,
+            RaidLevel.RAID1: self.ndisks - 1,
+            RaidLevel.RAID5: 1,
+            RaidLevel.RAID6: 2,
+        }[self.level]
+
+    @property
+    def capacity_pages(self) -> int | None:
+        if self.pages_per_disk is None:
+            return None
+        if self.level is RaidLevel.RAID1:
+            return self.pages_per_disk
+        return self.pages_per_disk * self.data_disks_per_stripe
+
+    # -- placement ---------------------------------------------------------
+
+    def stripe_of(self, lpage: int) -> int:
+        if lpage < 0:
+            raise ConfigError(f"negative logical page {lpage}")
+        return lpage // self.stripe_data_pages
+
+    def parity_disk(self, stripe: int) -> int | None:
+        """P-parity disk of a stripe (None for RAID-0/1)."""
+        if self.level is RaidLevel.RAID5:
+            return (self.ndisks - 1) - (stripe % self.ndisks)
+        if self.level is RaidLevel.RAID6:
+            return (self.ndisks - 1) - (stripe % self.ndisks)
+        return None
+
+    def q_disk(self, stripe: int) -> int | None:
+        """Q-parity disk (RAID-6 only; follows P with wraparound)."""
+        if self.level is not RaidLevel.RAID6:
+            return None
+        p = self.parity_disk(stripe)
+        assert p is not None
+        return (p + 1) % self.ndisks
+
+    def data_disk(self, stripe: int, chunk_index: int) -> int:
+        """Member disk holding data chunk ``chunk_index`` of ``stripe``."""
+        if not 0 <= chunk_index < self.data_disks_per_stripe:
+            raise ConfigError(f"chunk index {chunk_index} out of range")
+        if self.level is RaidLevel.RAID0:
+            return (stripe + chunk_index) % self.ndisks
+        if self.level is RaidLevel.RAID1:
+            return 0  # primary copy; mirrors are handled by the array
+        if self.level is RaidLevel.RAID5:
+            p = self.parity_disk(stripe)
+            assert p is not None
+            return (p + 1 + chunk_index) % self.ndisks
+        # RAID-6: data follows Q
+        q = self.q_disk(stripe)
+        assert q is not None
+        return (q + 1 + chunk_index) % self.ndisks
+
+    def locate(self, lpage: int) -> PageLocation:
+        """Map a logical page to its stripe, member disk, and on-disk page."""
+        stripe = self.stripe_of(lpage)
+        within = lpage - stripe * self.stripe_data_pages
+        chunk_index, offset = divmod(within, self.chunk_pages)
+        disk = self.data_disk(stripe, chunk_index)
+        disk_page = stripe * self.chunk_pages + offset
+        if self.pages_per_disk is not None and disk_page >= self.pages_per_disk:
+            raise ConfigError(f"logical page {lpage} beyond array capacity")
+        return PageLocation(stripe=stripe, disk=disk, disk_page=disk_page)
+
+    def parity_page(self, stripe: int, lpage: int) -> int:
+        """On-disk page of the parity block covering ``lpage``'s position."""
+        within = lpage - stripe * self.stripe_data_pages
+        offset = within % self.chunk_pages
+        return stripe * self.chunk_pages + offset
+
+    def stripe_pages(self, stripe: int) -> range:
+        """All logical pages belonging to a stripe."""
+        start = stripe * self.stripe_data_pages
+        return range(start, start + self.stripe_data_pages)

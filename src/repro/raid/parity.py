@@ -1,0 +1,137 @@
+"""Parity mathematics for RAID-5 (P) and RAID-6 (P+Q).
+
+All functions operate on equal-length numpy uint8 buffers (one chunk or
+page each).  P is plain XOR; Q is the Reed-Solomon syndrome
+``sum_i g^i * D_i`` over GF(2^8), matching the Linux MD raid6 layout.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import RaidError
+from .gf256 import generator_power, gf_div, gf_inv, gf_mul
+
+
+def _as_buffers(blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
+    if not blocks:
+        raise RaidError("parity over zero blocks")
+    size = len(blocks[0])
+    bufs = []
+    for b in blocks:
+        arr = np.asarray(b, dtype=np.uint8)
+        if len(arr) != size:
+            raise RaidError("parity blocks must be equal length")
+        bufs.append(arr)
+    return bufs
+
+
+def xor_blocks(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """XOR of any number of equal-length buffers."""
+    bufs = _as_buffers(blocks)
+    out = bufs[0].copy()
+    for b in bufs[1:]:
+        np.bitwise_xor(out, b, out=out)
+    return out
+
+
+def compute_p(data_blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """RAID-5/6 P parity (XOR of all data blocks of the stripe)."""
+    return xor_blocks(data_blocks)
+
+
+def compute_q(data_blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """RAID-6 Q parity: sum over GF(256) of g^i * D_i."""
+    bufs = _as_buffers(data_blocks)
+    out = np.zeros_like(bufs[0])
+    for i, b in enumerate(bufs):
+        np.bitwise_xor(out, gf_mul(b, generator_power(i)), out=out)
+    return out
+
+
+def update_p(old_p: np.ndarray, old_data: np.ndarray, new_data: np.ndarray) -> np.ndarray:
+    """Read-modify-write P update: P' = P ^ Dold ^ Dnew."""
+    return xor_blocks([old_p, old_data, new_data])
+
+
+def apply_delta_to_p(stale_p: np.ndarray, deltas: Sequence[np.ndarray]) -> np.ndarray:
+    """Repair a stale P given the XOR deltas of the changed data blocks.
+
+    This is the operation KDD's cleaner performs in read-modify-write
+    mode: each delta is ``Dold ^ Dnew``, so XOR-ing them into the stale
+    parity yields the up-to-date parity (Section III-D).
+    """
+    return xor_blocks([stale_p, *deltas])
+
+
+def recover_one_data(
+    surviving_data: Sequence[np.ndarray], p: np.ndarray
+) -> np.ndarray:
+    """Reconstruct a single lost data block from P and the survivors."""
+    return xor_blocks([*surviving_data, p])
+
+
+def recover_two_data(
+    surviving: dict[int, np.ndarray],
+    p: np.ndarray,
+    q: np.ndarray,
+    lost_x: int,
+    lost_y: int,
+    n_data: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """RAID-6: reconstruct two lost data blocks ``lost_x < lost_y``.
+
+    Standard two-erasure decode: with Pxy/Qxy the partial parities over
+    survivors,  Dx = A (P^Pxy) ^ B (Q^Qxy) where A, B derive from the
+    generator powers of the lost positions.
+    """
+    if lost_x == lost_y:
+        raise RaidError("the two lost indices must differ")
+    if lost_x > lost_y:
+        lost_x, lost_y = lost_y, lost_x
+    for i in (lost_x, lost_y):
+        if not 0 <= i < n_data:
+            raise RaidError(f"lost index {i} out of range")
+        if i in surviving:
+            raise RaidError(f"index {i} is both lost and surviving")
+
+    pxy = np.zeros_like(p)
+    qxy = np.zeros_like(q)
+    for i in range(n_data):
+        if i in (lost_x, lost_y):
+            continue
+        try:
+            block = surviving[i]
+        except KeyError:
+            raise RaidError(f"missing surviving block {i}") from None
+        np.bitwise_xor(pxy, block, out=pxy)
+        np.bitwise_xor(qxy, gf_mul(np.asarray(block, np.uint8), generator_power(i)), out=qxy)
+
+    gx = generator_power(lost_x)
+    gy = generator_power(lost_y)
+    denom = gx ^ gy  # g^x + g^y in GF(256)
+    a = gf_div(gy, denom)
+    b = gf_inv(denom)
+
+    p_term = xor_blocks([p, pxy])
+    q_term = xor_blocks([q, qxy])
+    dx = xor_blocks([gf_mul(p_term, a), gf_mul(q_term, b)])
+    dy = xor_blocks([p_term, dx])
+    return dx, dy
+
+
+def verify_stripe(
+    data_blocks: Sequence[np.ndarray],
+    p: np.ndarray,
+    q: np.ndarray | None = None,
+) -> bool:
+    """True iff parity is consistent with the data blocks."""
+    if not np.array_equal(compute_p(data_blocks), np.asarray(p, np.uint8)):
+        return False
+    if q is not None and not np.array_equal(
+        compute_q(data_blocks), np.asarray(q, np.uint8)
+    ):
+        return False
+    return True

@@ -1,0 +1,148 @@
+"""Array resynchronisation and failed-disk rebuild.
+
+Two recovery flows from Section III-E2:
+
+* **SSD cache failure** — data was always dispatched to RAID, so nothing
+  is lost, but stripes with delayed parity must be re-synchronised by
+  reconstruct-write before the array is single-fault tolerant again.
+* **HDD failure** — the cache first repairs every stale parity via the
+  ``parity_update`` interface, then the RAID layer rebuilds the failed
+  member from the survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DegradedError
+from .array import DiskOp, OpKind, RAIDArray
+from .layout import RaidLevel
+
+
+@dataclass
+class RebuildReport:
+    """What a recovery pass did, for tests and experiment logs."""
+
+    stripes_resynced: int = 0
+    pages_rebuilt: int = 0
+    disk_ops: list[DiskOp] = field(default_factory=list)
+
+    @property
+    def member_ios(self) -> int:
+        return sum(op.npages for op in self.disk_ops)
+
+
+def resync_stale_parity(array: RAIDArray) -> RebuildReport:
+    """Recompute parity for every stale stripe (reconstruct-write).
+
+    This is the window-of-vulnerability closer after an SSD cache is
+    lost: read all data chunks of each stale stripe, recompute parity,
+    write it.
+    """
+    report = RebuildReport()
+    for stripe in sorted(array.stale_stripes):
+        ops: list[DiskOp] = []
+        for lpage in array.layout.stripe_pages(stripe):
+            loc = array.layout.locate(lpage)
+            if loc.disk in array.failed_disks:
+                raise DegradedError(
+                    "disk failure with stale parity: data loss "
+                    "(the failure mode LeavO is exposed to)"
+                )
+            ops.append(DiskOp(loc.disk, loc.disk_page, 1, True))
+        ops += array.parity_update(
+            stripe, cached_pages=list(array.layout.stripe_pages(stripe))
+        )
+        report.stripes_resynced += 1
+        report.disk_ops.extend(ops)
+    # parity_update already accounted its ops; account the data reads here.
+    array.counters.account(op for op in report.disk_ops if op.is_read and op.kind is OpKind.DATA)
+    return report
+
+
+def rebuild_disk(array: RAIDArray, disk: int) -> RebuildReport:
+    """Rebuild a failed member after all parity is up to date.
+
+    Every on-disk page of the failed member is reconstructed by reading
+    the rest of its stripe (data + parity) and writing the result to the
+    replacement disk.
+    """
+    if disk not in array.failed_disks:
+        raise DegradedError(f"disk {disk} is not failed")
+    if array.stale_stripes:
+        raise DegradedError(
+            "stale parity present: run parity updates before rebuilding "
+            "(KDD's HDD-failure flow, Section III-E2)"
+        )
+    if array.level not in (RaidLevel.RAID1, RaidLevel.RAID5, RaidLevel.RAID6):
+        raise DegradedError(f"{array.level.name} cannot rebuild a member")
+
+    report = RebuildReport()
+    layout = array.layout
+    pages_per_disk = layout.pages_per_disk or 0
+    # Walk stripes; for each unit on the failed disk, read peers + write it.
+    max_stripe = pages_per_disk // layout.chunk_pages
+    for stripe in range(max_stripe):
+        units: list[tuple[int, OpKind]] = []
+        p_disk = layout.parity_disk(stripe)
+        q_disk = layout.q_disk(stripe)
+        if array.level is RaidLevel.RAID1:
+            units = [(0, OpKind.DATA)]
+        elif disk == p_disk:
+            units = [(0, OpKind.PARITY)]
+        elif disk == q_disk:
+            units = [(0, OpKind.Q_PARITY)]
+        else:
+            for chunk in range(layout.data_disks_per_stripe):
+                if layout.data_disk(stripe, chunk) == disk:
+                    units = [(chunk, OpKind.DATA)]
+                    break
+            else:
+                continue
+        if not units:
+            continue
+        for offset in range(layout.chunk_pages):
+            dpage = stripe * layout.chunk_pages + offset
+            if dpage >= pages_per_disk:
+                break
+            ops: list[DiskOp] = []
+            if array.level is RaidLevel.RAID1:
+                source = next(
+                    m for m in range(array.ndisks) if m not in array.failed_disks
+                )
+                ops.append(DiskOp(source, dpage, 1, True))
+            else:
+                for member in range(array.ndisks):
+                    if member == disk or member in array.failed_disks:
+                        continue
+                    kind = (
+                        OpKind.PARITY
+                        if member == p_disk
+                        else OpKind.Q_PARITY
+                        if member == q_disk
+                        else OpKind.DATA
+                    )
+                    ops.append(DiskOp(member, dpage, 1, True, kind))
+            ops.append(DiskOp(disk, dpage, 1, False, units[0][1]))
+            report.disk_ops.extend(ops)
+            report.pages_rebuilt += 1
+    array.counters.account(report.disk_ops)
+    if array._disk_data is not None:
+        # Reconstruct lost data payloads while the disk is still marked
+        # failed (so reads go through parity), then restore them.
+        restored: dict[int, "object"] = {}
+        for lpage in range(array.capacity_pages):
+            loc = layout.locate(lpage)
+            if loc.disk == disk:
+                restored[loc.disk_page] = array._reconstruct_payload(lpage, loc)
+        array.failed_disks.discard(disk)
+        for dpage, payload in restored.items():
+            array._put_disk_page(disk, dpage, payload)  # type: ignore[arg-type]
+        # Parity units that lived on the failed disk are recomputed from data.
+        for stripe in range(max_stripe):
+            if disk in (layout.parity_disk(stripe), layout.q_disk(stripe)):
+                for offset in range(layout.chunk_pages):
+                    array._recompute_parity_at(stripe, offset)
+    else:
+        array.failed_disks.discard(disk)
+    return report

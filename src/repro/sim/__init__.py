@@ -1,0 +1,17 @@
+"""Discrete-event timing simulation (the 'prototype' measurements)."""
+
+from .devices import DiskServer, SSDServer, ServiceWindow
+from .system import TimedSystem, TimingReport
+from .openloop import replay_trace
+from .closedloop import FioConfig, run_closed_loop
+
+__all__ = [
+    "DiskServer",
+    "SSDServer",
+    "ServiceWindow",
+    "TimedSystem",
+    "TimingReport",
+    "replay_trace",
+    "FioConfig",
+    "run_closed_loop",
+]

@@ -1,0 +1,91 @@
+"""FCFS device servers for the timing simulator.
+
+Each member disk and the SSD cache are modelled as first-come
+first-served servers with their substrate's service-time models
+(:class:`repro.disk.HDD`, :class:`repro.flash.SSDLatency`).  The
+simulators feed operations in global arrival order, so a simple
+``busy_until`` clock per server implements FCFS queueing exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..disk.hdd import HDD, HDDParams
+from ..errors import ConfigError
+from ..flash.device import SSDLatency
+from ..flash.geometry import FlashGeometry
+
+
+@dataclass
+class ServiceWindow:
+    """When an operation started and finished on a server."""
+
+    start: float
+    finish: float
+
+
+class DiskServer:
+    """One member disk: FCFS queue over the mechanical HDD model."""
+
+    def __init__(self, params: HDDParams | None = None, page_size: int = 4096) -> None:
+        self.hdd = HDD(params, page_size=page_size)
+        self.busy_until = 0.0
+        self.ops = 0
+
+    def serve(
+        self, disk_page: int, npages: int, is_read: bool, earliest: float
+    ) -> ServiceWindow:
+        """Queue one access; returns its service window."""
+        start = max(earliest, self.busy_until)
+        service = self.hdd.service_time(disk_page, npages, is_read)
+        finish = start + service
+        self.busy_until = finish
+        self.ops += 1
+        return ServiceWindow(start=start, finish=finish)
+
+    @property
+    def utilisation_time(self) -> float:
+        return self.hdd.busy_time
+
+
+class SSDServer:
+    """The cache device: channel-parallel page reads/programs, FCFS."""
+
+    def __init__(
+        self,
+        latency: SSDLatency | None = None,
+        channels: int = 8,
+    ) -> None:
+        if channels < 1:
+            raise ConfigError("channels must be >= 1")
+        self.latency = latency or SSDLatency()
+        self.channels = channels
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.reads = 0
+        self.writes = 0
+
+    def _batch_time(self, npages: int, per_page: float) -> float:
+        rounds = -(-npages // self.channels)
+        return self.latency.command_overhead + rounds * per_page
+
+    def serve_read(self, npages: int, earliest: float) -> ServiceWindow:
+        if npages < 1:
+            raise ConfigError("npages must be >= 1")
+        start = max(earliest, self.busy_until)
+        finish = start + self._batch_time(npages, self.latency.page_read)
+        self.busy_until = finish
+        self.busy_time += finish - start
+        self.reads += npages
+        return ServiceWindow(start=start, finish=finish)
+
+    def serve_write(self, npages: int, earliest: float) -> ServiceWindow:
+        if npages < 1:
+            raise ConfigError("npages must be >= 1")
+        start = max(earliest, self.busy_until)
+        finish = start + self._batch_time(npages, self.latency.page_program)
+        self.busy_until = finish
+        self.busy_time += finish - start
+        self.writes += npages
+        return ServiceWindow(start=start, finish=finish)

@@ -1,0 +1,152 @@
+"""Full-system timing composition: cache policy + RAID disks + SSD.
+
+This is the discrete-event "prototype" path (Section IV-B): a policy
+decides what each access does; this module schedules the resulting
+device operations on FCFS servers and measures the request's response
+time.  Writes are acknowledged only after their RAID member writes
+complete (the paper's RPO=0 consistency rule); asynchronous work (read
+fills, delta/metadata commits, cleaning I/O) still occupies the devices
+and delays later requests, but not the request that caused it.
+
+RAID member semantics: a request's member *reads* proceed in parallel
+across disks, its member *writes* start only after the reads finish —
+the two phases of a read-modify-write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.base import CachePolicy, Outcome
+from ..disk.hdd import HDDParams
+from ..errors import ConfigError
+from ..flash.device import SSDLatency
+from ..raid.array import DiskOp
+from ..stats.latency import LatencyRecorder, LatencySummary
+from ..traces.record import IORequest
+from .devices import DiskServer, SSDServer
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Outcome of one timed run."""
+
+    policy: str
+    workload: str
+    latency: LatencySummary
+    duration: float
+    requests: int
+
+    @property
+    def mean_response_ms(self) -> float:
+        return self.latency.mean_ms
+
+    @property
+    def iops(self) -> float:
+        return self.requests / self.duration if self.duration > 0 else 0.0
+
+    def row(self) -> dict[str, float]:
+        out = {"policy": self.policy, "workload": self.workload}
+        out.update(self.latency.row())
+        out["iops"] = round(self.iops, 1)
+        return out
+
+
+class TimedSystem:
+    """Schedules one policy's device operations on shared servers."""
+
+    def __init__(
+        self,
+        policy: CachePolicy,
+        hdd_params: HDDParams | None = None,
+        ssd_latency: SSDLatency | None = None,
+        ssd_channels: int = 8,
+    ) -> None:
+        self.policy = policy
+        ndisks = policy.raid.ndisks
+        page_size = policy.config.page_size
+        self.disks = [DiskServer(hdd_params, page_size) for _ in range(ndisks)]
+        self.ssd = SSDServer(ssd_latency, channels=ssd_channels)
+        self.recorder = LatencyRecorder()
+        self._clock = 0.0
+
+    # -- scheduling helpers -------------------------------------------------
+
+    def _schedule_disk_phases(self, ops: list[DiskOp], earliest: float) -> float:
+        """Reads in parallel, then writes in parallel; returns finish time."""
+        reads = [op for op in ops if op.is_read]
+        writes = [op for op in ops if not op.is_read]
+        phase1_done = earliest
+        for op in reads:
+            w = self.disks[op.disk].serve(op.disk_page, op.npages, True, earliest)
+            phase1_done = max(phase1_done, w.finish)
+        done = phase1_done
+        for op in writes:
+            w = self.disks[op.disk].serve(op.disk_page, op.npages, False, phase1_done)
+            done = max(done, w.finish)
+        return done
+
+    def _schedule_background(self, out: Outcome, after: float) -> None:
+        """Asynchronous work occupies devices but nobody waits on it."""
+        if out.bg_ssd_writes:
+            self.ssd.serve_write(out.bg_ssd_writes, after)
+        if out.bg_disk_ops:
+            self._schedule_disk_phases(out.bg_disk_ops, after)
+
+    def submit(self, lba: int, npages: int, is_read: bool, arrival: float) -> float:
+        """Process one request; returns its completion time."""
+        if arrival < 0:
+            raise ConfigError("arrival time must be >= 0")
+        self._clock = max(self._clock, arrival)
+        completion = arrival
+        backgrounds: list[Outcome] = []
+        for page in range(lba, lba + npages):
+            out = self.policy.access(page, is_read)
+            page_done = arrival
+            if out.fg_ssd_reads:
+                page_done = self.ssd.serve_read(out.fg_ssd_reads, arrival).finish
+            if out.fg_compute:
+                page_done += out.fg_compute
+            if out.fg_disk_ops:
+                page_done = max(
+                    page_done, self._schedule_disk_phases(out.fg_disk_ops, arrival)
+                )
+            completion = max(completion, page_done)
+            backgrounds.append(out)
+        # background work starts once the foreground finished
+        for out in backgrounds:
+            self._schedule_background(out, completion)
+        self.recorder.record(completion - arrival)
+        return completion
+
+    def submit_request(self, req: IORequest) -> float:
+        return self.submit(req.lba, req.npages, req.is_read, req.time)
+
+    def report(self, workload: str, duration: float) -> TimingReport:
+        return TimingReport(
+            policy=self.policy.name,
+            workload=workload,
+            latency=self.recorder.summary(),
+            duration=duration,
+            requests=len(self.recorder),
+        )
+
+    def inject_disk_ops(self, ops: list[DiskOp], at: float) -> float:
+        """Schedule external member I/O (e.g. rebuild traffic) at ``at``.
+
+        Used by degraded-mode experiments: the ops occupy the disks and
+        delay subsequent foreground requests, exactly like a rebuild
+        running under load.  Returns the injected batch's finish time.
+        """
+        return self._schedule_disk_phases(ops, at)
+
+    def utilisation(self, duration: float) -> dict[str, float]:
+        """Per-device busy fractions over ``duration`` (bottleneck finder)."""
+        if duration <= 0:
+            raise ConfigError("duration must be positive")
+        out = {
+            f"disk{i}": min(1.0, d.hdd.busy_time / duration)
+            for i, d in enumerate(self.disks)
+        }
+        out["ssd"] = min(1.0, self.ssd.busy_time / duration)
+        return out

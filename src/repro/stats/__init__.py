@@ -1,0 +1,5 @@
+"""Metrics: latency recorders and summaries."""
+
+from .latency import LatencyRecorder, LatencySummary
+
+__all__ = ["LatencyRecorder", "LatencySummary"]

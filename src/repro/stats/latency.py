@@ -1,0 +1,64 @@
+"""Response-time statistics for the timing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates per-request response times."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, response_time: float) -> None:
+        if response_time < 0:
+            raise ConfigError(f"negative response time {response_time}")
+        self.samples.append(response_time)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> "LatencySummary":
+        if not self.samples:
+            return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+                                  maximum=0.0)
+        arr = np.asarray(self.samples)
+        return LatencySummary(
+            count=len(arr),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate response-time figures (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    def row(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1e3, 3),
+            "p50_ms": round(self.p50 * 1e3, 3),
+            "p95_ms": round(self.p95 * 1e3, 3),
+            "p99_ms": round(self.p99 * 1e3, 3),
+            "max_ms": round(self.maximum * 1e3, 3),
+        }

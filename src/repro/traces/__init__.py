@@ -1,0 +1,62 @@
+"""Trace infrastructure: formats, parsers, and synthetic workload generators."""
+
+from .record import IO_DTYPE, IORequest, empty_records
+from .trace import Trace, TraceStats
+from .spc import parse_spc, write_spc, concat_spc
+from .msr import parse_msr
+from .synthetic import (
+    FootprintSpec,
+    footprint_workload,
+    sequential_workload,
+    uniform_workload,
+    zipf_ranks,
+    zipf_workload,
+)
+from .uniform import convert, load_trace, save_trace
+from .analysis import (
+    ReuseProfile,
+    lru_stack_distances,
+    reuse_profile,
+    working_set_sizes,
+    write_hit_potential,
+)
+from .workloads import (
+    ALL_WORKLOADS,
+    READ_DOMINANT,
+    TABLE1_SPECS,
+    WRITE_DOMINANT,
+    make_workload,
+    workload_spec,
+)
+
+__all__ = [
+    "IO_DTYPE",
+    "IORequest",
+    "empty_records",
+    "Trace",
+    "TraceStats",
+    "parse_spc",
+    "write_spc",
+    "concat_spc",
+    "parse_msr",
+    "FootprintSpec",
+    "footprint_workload",
+    "sequential_workload",
+    "uniform_workload",
+    "zipf_ranks",
+    "zipf_workload",
+    "convert",
+    "load_trace",
+    "save_trace",
+    "ReuseProfile",
+    "lru_stack_distances",
+    "reuse_profile",
+    "working_set_sizes",
+    "write_hit_potential",
+    "ALL_WORKLOADS",
+    "READ_DOMINANT",
+    "WRITE_DOMINANT",
+    "TABLE1_SPECS",
+    "make_workload",
+    "workload_spec",
+]

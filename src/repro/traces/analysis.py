@@ -1,0 +1,150 @@
+"""Locality analysis for traces: reuse distance, working sets, hit bounds.
+
+These tools quantify the two localities the paper's argument rests on:
+
+* *temporal locality* — reuse distances bound what any LRU-class cache
+  can achieve (an access with LRU stack distance d hits iff the cache
+  holds more than d pages), which is how we sanity-check the calibrated
+  workloads against the paper's hit-ratio ranges;
+* *write locality* — the share of writes that are re-writes of recently
+  written pages is exactly the population KDD can turn into deltas.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .trace import Trace
+
+
+def lru_stack_distances(pages: np.ndarray) -> np.ndarray:
+    """LRU stack distance per access (-1 for cold misses).
+
+    Implemented with a Fenwick tree over last-access positions:
+    O(n log n) overall, fine for multi-million-access traces.
+    """
+    n = len(pages)
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(i: int, v: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += v
+            i += i & (-i)
+
+    def prefix(i: int) -> int:
+        i += 1
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    last_pos: dict[int, int] = {}
+    for i, page in enumerate(pages.tolist()):
+        prev = last_pos.get(page)
+        if prev is not None:
+            # distinct pages touched strictly after prev = distance
+            out[i] = prefix(i - 1) - prefix(prev)
+            add(prev, -1)
+        last_pos[page] = i
+        add(i, 1)
+    return out
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Summary of a trace's reuse behaviour."""
+
+    accesses: int
+    cold_misses: int
+    distances: np.ndarray  # reuses only (cold misses excluded)
+
+    @property
+    def reuse_fraction(self) -> float:
+        return 1.0 - self.cold_misses / self.accesses if self.accesses else 0.0
+
+    def hit_ratio_for_cache(self, cache_pages: int) -> float:
+        """Best-case LRU hit ratio for a fully-associative cache."""
+        if self.accesses == 0:
+            return 0.0
+        hits = int((self.distances < cache_pages).sum())
+        return hits / self.accesses
+
+    def mincache_for_hit_ratio(self, target: float) -> int:
+        """Smallest LRU cache achieving ``target`` hit ratio (pages)."""
+        if not 0.0 <= target <= 1.0:
+            raise ConfigError("target hit ratio must be in [0, 1]")
+        if self.accesses == 0 or len(self.distances) == 0:
+            return 0
+        needed_hits = int(np.ceil(target * self.accesses))
+        if needed_hits > len(self.distances):
+            raise ConfigError(
+                f"target {target} exceeds the trace's max hit ratio "
+                f"{len(self.distances) / self.accesses:.3f}"
+            )
+        if needed_hits == 0:
+            return 0
+        return int(np.sort(self.distances)[needed_hits - 1]) + 1
+
+
+def reuse_profile(trace: Trace, writes_only: bool = False) -> ReuseProfile:
+    """Reuse-distance profile of a trace at page granularity."""
+    pages, is_read = trace.page_accesses()
+    if writes_only:
+        pages = pages[~is_read]
+    dist = lru_stack_distances(pages)
+    reuses = dist[dist >= 0]
+    return ReuseProfile(
+        accesses=len(pages),
+        cold_misses=int((dist < 0).sum()),
+        distances=reuses,
+    )
+
+
+def working_set_sizes(trace: Trace, window: float) -> np.ndarray:
+    """Distinct pages touched per fixed time window (WSS over time)."""
+    if window <= 0:
+        raise ConfigError("window must be positive")
+    pages, _ = trace.page_accesses()
+    npages = trace.records["npages"].astype(np.int64)
+    times = np.repeat(trace.records["time"], npages)
+    if len(times) == 0:
+        return np.zeros(0, dtype=np.int64)
+    bins = ((times - times[0]) / window).astype(np.int64)
+    out = np.zeros(int(bins[-1]) + 1, dtype=np.int64)
+    for b in range(len(out)):
+        mask = bins == b
+        out[b] = len(np.unique(pages[mask]))
+    return out
+
+
+def write_hit_potential(trace: Trace, cache_pages: int) -> float:
+    """Fraction of writes that hit an LRU cache of ``cache_pages``.
+
+    This is the population KDD converts into single-member-write
+    deltas — the direct predictor of its advantage on a workload.
+    """
+    pages, is_read = trace.page_accesses()
+    lru: OrderedDict[int, None] = OrderedDict()
+    write_hits = 0
+    writes = 0
+    for page, rd in zip(pages.tolist(), is_read.tolist()):
+        if not rd:
+            writes += 1
+            if page in lru:
+                write_hits += 1
+        if page in lru:
+            lru.move_to_end(page)
+        else:
+            lru[page] = None
+            if len(lru) > cache_pages:
+                lru.popitem(last=False)
+    return write_hits / writes if writes else 0.0

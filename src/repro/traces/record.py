@@ -1,0 +1,56 @@
+"""I/O request record layout.
+
+Traces are stored as numpy structured arrays for compactness and fast
+vectorised statistics; individual records are exposed through the light
+:class:`IORequest` view used by the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Structured dtype of one block-level I/O request.
+#:
+#: ``time``   – arrival time in seconds from trace start
+#: ``lba``    – first page address (page-granular logical block address)
+#: ``npages`` – request length in pages (>= 1)
+#: ``is_read`` – True for reads, False for writes
+IO_DTYPE = np.dtype(
+    [
+        ("time", np.float64),
+        ("lba", np.uint64),
+        ("npages", np.uint32),
+        ("is_read", np.bool_),
+    ]
+)
+
+
+@dataclass(frozen=True, slots=True)
+class IORequest:
+    """One block-level request at page granularity."""
+
+    time: float
+    lba: int
+    npages: int
+    is_read: bool
+
+    def __post_init__(self) -> None:
+        if self.npages < 1:
+            raise ValueError(f"request length must be >= 1 page, got {self.npages}")
+        if self.lba < 0:
+            raise ValueError(f"negative LBA: {self.lba}")
+
+    @property
+    def is_write(self) -> bool:
+        return not self.is_read
+
+    def pages(self) -> range:
+        """Page addresses touched by this request."""
+        return range(self.lba, self.lba + self.npages)
+
+
+def empty_records(n: int) -> np.ndarray:
+    """Allocate an uninitialised record array of ``n`` requests."""
+    return np.empty(n, dtype=IO_DTYPE)

@@ -1,0 +1,36 @@
+"""Size and time units used throughout the library.
+
+All sizes are bytes unless a name says otherwise; all simulated times
+are seconds (floats).  Block-level components address storage in fixed
+4 KiB *pages* by default, matching the paper's configuration.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: Default cache/RAID page size used by the paper (Section IV-A1).
+DEFAULT_PAGE_SIZE = 4 * KiB
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def pages_for_bytes(nbytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Number of whole pages needed to hold ``nbytes`` (ceiling division)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return -(-nbytes // page_size)
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``format_bytes(1536) == '1.5 KiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")

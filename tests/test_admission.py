@@ -1,0 +1,139 @@
+"""Tests for selective cache admission (LARC / count-based sieving)."""
+
+import pytest
+
+from repro.cache import (
+    AlwaysAdmit,
+    CacheConfig,
+    CountAdmission,
+    LarcAdmission,
+    WriteThrough,
+    make_admission,
+)
+from repro.core import KDD
+from repro.errors import ConfigError
+from repro.harness import simulate_policy
+from repro.raid import RAIDArray, RaidLevel
+from repro.traces import zipf_workload
+
+
+class TestAlwaysAdmit:
+    def test_admits_everything(self):
+        a = AlwaysAdmit()
+        assert all(a.should_admit(lba) for lba in range(100))
+
+
+class TestLarc:
+    def test_second_miss_admits(self):
+        larc = LarcAdmission(cache_pages=100)
+        assert not larc.should_admit(5)  # first miss: ghost only
+        assert larc.should_admit(5)      # second miss: promote
+        assert larc.ghost_hits == 1
+        assert larc.filtered == 1
+
+    def test_ghost_entry_consumed_on_promotion(self):
+        larc = LarcAdmission(cache_pages=100)
+        larc.should_admit(5)
+        larc.should_admit(5)
+        assert not larc.should_admit(5)  # back to square one
+
+    def test_ghost_is_bounded(self):
+        larc = LarcAdmission(cache_pages=10)
+        for lba in range(1000):
+            larc.should_admit(lba)
+        assert len(larc._ghost) <= larc.max_target
+
+    def test_cache_hits_shrink_target(self):
+        larc = LarcAdmission(cache_pages=100)
+        # grow first via ghost hits
+        for lba in range(50):
+            larc.should_admit(lba)
+            larc.should_admit(lba)
+        grown = larc.target_size
+        for _ in range(200):
+            larc.on_cache_hit(1)
+        assert larc.target_size <= grown
+        assert larc.target_size >= larc.min_target
+
+    def test_ghost_hits_grow_target(self):
+        larc = LarcAdmission(cache_pages=100)
+        base = larc.target_size
+        for lba in range(30):
+            larc.should_admit(lba)
+            larc.should_admit(lba)
+        assert larc.target_size >= base
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LarcAdmission(0)
+
+
+class TestCountAdmission:
+    def test_threshold_respected(self):
+        a = CountAdmission(threshold=3)
+        assert not a.should_admit(1)
+        assert not a.should_admit(1)
+        assert a.should_admit(1)
+
+    def test_sieve_bounded_lru(self):
+        a = CountAdmission(threshold=2, sieve_entries=2)
+        a.should_admit(1)
+        a.should_admit(2)
+        a.should_admit(3)  # evicts 1 from the sieve
+        assert not a.should_admit(1)  # count was forgotten
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CountAdmission(threshold=0)
+        with pytest.raises(ConfigError):
+            CountAdmission(sieve_entries=0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_admission("always", 10).name == "always"
+        assert make_admission("LARC", 10).name == "larc"
+        assert make_admission("count", 10).name == "count"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_admission("bloom", 10)
+
+
+class TestIntegration:
+    def make_raid(self):
+        return RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                         pages_per_disk=1 << 14)
+
+    def test_larc_reduces_allocation_writes(self):
+        """The complementary-techniques claim: LARC cuts SSD writes
+        further by filtering one-hit wonders out of the cache."""
+        trace = zipf_workload(20_000, 8000, alpha=0.8, read_ratio=0.7, seed=9)
+        plain = simulate_policy("wt", trace, cache_pages=512, seed=1)
+        larc = simulate_policy("wt", trace, cache_pages=512, seed=1,
+                               admission="larc")
+        assert larc.stats.fill_writes < plain.stats.fill_writes
+
+    def test_larc_on_kdd(self):
+        trace = zipf_workload(10_000, 4000, alpha=0.9, read_ratio=0.3, seed=9)
+        plain = simulate_policy("kdd", trace, cache_pages=512, seed=1)
+        larc = simulate_policy("kdd", trace, cache_pages=512, seed=1,
+                               admission="larc")
+        assert larc.ssd_write_pages < plain.ssd_write_pages
+
+    def test_first_touch_not_cached_under_larc(self):
+        raid = self.make_raid()
+        p = WriteThrough(
+            CacheConfig(cache_pages=64, ways=16, admission="larc"), raid
+        )
+        p.read(5)
+        assert 5 not in p.sets
+        p.read(5)  # second miss promotes
+        assert 5 in p.sets
+
+    def test_kdd_invariants_with_larc(self):
+        raid = self.make_raid()
+        kdd = KDD(CacheConfig(cache_pages=64, ways=16, admission="larc"), raid)
+        trace = zipf_workload(3000, 500, alpha=1.0, read_ratio=0.4, seed=2)
+        kdd.process_trace(trace)
+        kdd.check_invariants()

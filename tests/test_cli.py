@@ -1,0 +1,67 @@
+"""Tests for the kdd-repro CLI (run / simulate / trace file loading)."""
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.traces import uniform_workload, write_spc
+
+
+class TestSimulateCommand:
+    def test_simulate_named_workload(self, capsys):
+        rc = cli_main([
+            "simulate", "kdd", "--workload", "Fin2", "--scale", "0.002",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kdd" in out and "hit_ratio" in out
+
+    def test_simulate_all_policies(self, capsys):
+        for policy in ("nossd", "wa", "wt", "wb", "leavo", "kdd",
+                       "dedup-wt", "mwb", "owb", "jwb"):
+            rc = cli_main([
+                "simulate", policy, "--workload", "Fin2", "--scale", "0.001",
+            ])
+            assert rc == 0, policy
+
+    def test_simulate_explicit_cache_pages(self, capsys):
+        rc = cli_main([
+            "simulate", "wt", "--workload", "Fin2", "--scale", "0.001",
+            "--cache-pages", "128",
+        ])
+        assert rc == 0
+        assert "128" in capsys.readouterr().out
+
+    def test_simulate_with_admission(self, capsys):
+        rc = cli_main([
+            "simulate", "wt", "--workload", "Fin2", "--scale", "0.001",
+            "--admission", "larc",
+        ])
+        assert rc == 0
+
+    def test_simulate_spc_file(self, tmp_path, capsys):
+        tr = uniform_workload(200, 300, read_ratio=0.5, seed=1)
+        spc = tmp_path / "mini.spc"
+        write_spc(tr, spc)
+        rc = cli_main(["simulate", "wt", "--workload", str(spc)])
+        assert rc == 0
+
+    def test_simulate_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            cli_main(["simulate", "wt", "--workload", "nope.bin"])
+
+    def test_simulate_compression_flag(self, capsys):
+        rc = cli_main([
+            "simulate", "kdd", "--workload", "Fin2", "--scale", "0.001",
+            "--compression", "0.12",
+        ])
+        assert rc == 0
+
+
+class TestRunCommand:
+    def test_run_multiple_figures(self, capsys):
+        rc = cli_main(["run", "table1", "--scale", "0.001"])
+        assert rc == 0
+
+    def test_seed_flag_accepted(self, capsys):
+        rc = cli_main(["run", "table1", "--scale", "0.001", "--seed", "7"])
+        assert rc == 0

@@ -1,0 +1,125 @@
+"""Tests for the deduplicating cache (CacheDedup / D-LRU)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, ContentModel, DedupWriteThrough
+from repro.errors import ConfigError
+from repro.harness import simulate_policy
+from repro.raid import RAIDArray, RaidLevel
+from repro.traces import zipf_workload
+
+
+def make_policy(cache_pages=32, dup_ratio=0.5, seed=0):
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=1 << 14)
+    cfg = CacheConfig(cache_pages=cache_pages, ways=16, seed=seed)
+    return DedupWriteThrough(cfg, raid, content=ContentModel(dup_ratio, seed))
+
+
+class TestContentModel:
+    def test_dup_ratio_zero_always_fresh(self):
+        m = ContentModel(dup_ratio=0.0, seed=1)
+        ids = {m.content_for_write(lba) for lba in range(100)}
+        assert len(ids) == 100
+
+    def test_dup_ratio_one_repeats(self):
+        m = ContentModel(dup_ratio=1.0, seed=1)
+        m.content_for_write(0)  # seed content
+        ids = {m.content_for_write(lba) for lba in range(1, 100)}
+        assert len(ids) < 100
+
+    def test_read_returns_last_written_content(self):
+        m = ContentModel(dup_ratio=0.0, seed=1)
+        cid = m.content_for_write(7)
+        assert m.content_for_read(7) == cid
+
+    def test_cold_read_gets_stable_content(self):
+        m = ContentModel(seed=1)
+        assert m.content_for_read(9) == m.content_for_read(9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ContentModel(dup_ratio=1.5)
+
+
+class TestDLru:
+    def test_duplicate_write_costs_no_data_write(self):
+        p = make_policy(dup_ratio=1.0)
+        p.write(0)
+        before = p.stats.ssd_writes
+        # every further write repeats cached content with dup_ratio=1
+        for lba in range(1, 30):
+            p.write(lba)
+        assert p.stats.ssd_writes - before < 29
+        assert p.dedup_write_hits > 0
+        p.check_invariants()
+
+    def test_unique_content_always_written(self):
+        p = make_policy(dup_ratio=0.0)
+        for lba in range(10):
+            p.write(lba)
+        assert p.stats.ssd_writes == 10
+        assert p.dedup_write_hits == 0
+
+    def test_read_hit_through_source_index(self):
+        p = make_policy(dup_ratio=0.0)
+        p.write(5)
+        out = p.read(5)
+        assert out.hit
+        assert p.stats.read_hits == 1
+
+    def test_identical_fills_share_one_page(self):
+        p = make_policy(dup_ratio=1.0)
+        p.write(0)          # content X cached
+        p.read(100)         # cold read: fresh content, new page
+        before = p.stats.ssd_writes
+        p.read(100)         # now a hit
+        assert p.stats.ssd_writes == before
+
+    def test_store_capacity_respected(self):
+        p = make_policy(cache_pages=8, dup_ratio=0.0)
+        for lba in range(50):
+            p.write(lba)
+        assert len(p._store) <= 8
+        p.check_invariants()
+
+    def test_writes_still_reach_raid(self):
+        p = make_policy(dup_ratio=1.0)
+        for lba in range(20):
+            p.write(lba)
+        assert p.raid.counters.data_writes == 20  # write-through intact
+        assert not p.raid.stale_stripes
+
+    def test_runner_integration(self):
+        trace = zipf_workload(2000, 300, alpha=1.0, read_ratio=0.3, seed=5)
+        r = simulate_policy("dedup-wt", trace, cache_pages=128, seed=1)
+        assert r.stats.accesses == 2000
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(st.tuples(st.booleans(), st.integers(0, 40)),
+                     max_size=150),
+        dup=st.sampled_from([0.0, 0.4, 0.9]),
+    )
+    def test_property_index_consistency(self, ops, dup):
+        p = make_policy(cache_pages=16, dup_ratio=dup, seed=3)
+        for is_read, lba in ops:
+            p.access(lba, is_read)
+        p.check_invariants()
+
+    def test_higher_dup_ratio_fewer_cache_writes(self):
+        trace = zipf_workload(4000, 500, alpha=0.9, read_ratio=0.2, seed=7)
+        writes = []
+        for dup in (0.0, 0.5, 0.9):
+            raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                             pages_per_disk=1 << 14)
+            p = DedupWriteThrough(
+                CacheConfig(cache_pages=256, ways=16, seed=1),
+                raid,
+                content=ContentModel(dup, seed=1),
+            )
+            p.process_trace(trace)
+            writes.append(p.stats.ssd_writes)
+        assert writes[0] > writes[1] > writes[2]

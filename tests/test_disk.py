@@ -1,0 +1,60 @@
+"""Tests for the HDD service-time model."""
+
+import pytest
+
+from repro.disk import HDD, HDDParams
+from repro.errors import ConfigError
+from repro.units import MILLISECOND
+
+
+def test_rotation_time_from_rpm():
+    p = HDDParams(rpm=7200)
+    assert p.rotation_time == pytest.approx(60.0 / 7200)
+    assert p.avg_rotational_latency == pytest.approx(60.0 / 7200 / 2)
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        HDDParams(rpm=0)
+    with pytest.raises(ConfigError):
+        HDDParams(seek_min=5 * MILLISECOND, seek_avg=1 * MILLISECOND)
+
+
+def test_sequential_access_skips_seek_and_rotation():
+    d = HDD()
+    t1 = d.service_time(1000, 8, is_read=True)  # seek from parked head
+    t2 = d.service_time(1008, 8, is_read=True)  # head is already there
+    assert t2 < t1
+    assert t2 == pytest.approx(8 * 4096 / d.params.transfer_rate)
+
+
+def test_random_access_pays_seek_plus_rotation():
+    d = HDD()
+    d.service_time(0, 1, is_read=True)
+    far = d.capacity_pages // 2
+    t = d.service_time(far, 1, is_read=False)
+    assert t > d.params.avg_rotational_latency
+    assert t > 5 * MILLISECOND
+
+
+def test_longer_seeks_cost_more():
+    d = HDD()
+    d.service_time(0, 1, True)
+    t_near = d.service_time(1000, 1, True)
+    d2 = HDD()
+    d2.service_time(0, 1, True)
+    t_far = d2.service_time(d2.capacity_pages - 1, 1, True)
+    assert t_far > t_near
+
+
+def test_counters_and_busy_time():
+    d = HDD()
+    d.service_time(0, 2, is_read=True)
+    d.service_time(100, 3, is_read=False)
+    assert d.reads == 2 and d.writes == 3
+    assert d.busy_time > 0
+
+
+def test_zero_length_rejected():
+    with pytest.raises(ConfigError):
+        HDD().service_time(0, 0, True)

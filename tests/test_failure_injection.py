@@ -1,0 +1,129 @@
+"""Randomised failure injection: crash at arbitrary points, then recover.
+
+The recovery unit tests cut at convenient boundaries; these tests cut
+the run at *hypothesis-chosen* points in the access stream and assert
+the full recovery contract each time:
+
+* power failure at any point -> the rebuilt primary map equals the live
+  one (KDD persistence protocol is complete at every instant);
+* SSD loss at any point -> resync restores fault tolerance and no
+  acknowledged write is lost (payload check);
+* disk loss at any point after parity repair -> all data reconstructs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig
+from repro.core import (
+    KDD,
+    KDDDataPath,
+    ContentWorkload,
+    recover_from_power_failure,
+    recover_from_ssd_failure,
+    verify_recovery,
+)
+from repro.raid import RAIDArray, RaidLevel, resync_stale_parity
+
+
+def counting_system(cache_pages=48):
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=4096)
+    kdd = KDD(
+        CacheConfig(cache_pages=cache_pages, ways=16, group_pages=16,
+                    dirty_threshold=0.5, low_watermark=0.25),
+        raid,
+    )
+    return kdd, raid
+
+
+ops_strategy = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 80)), min_size=2, max_size=200
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=ops_strategy, data=st.data())
+def test_power_failure_at_any_point(ops, data):
+    kdd, _ = counting_system()
+    cut = data.draw(st.integers(0, len(ops)))
+    for is_read, lba in ops[:cut]:
+        kdd.access(lba, is_read)
+    state = recover_from_power_failure(kdd)
+    verify_recovery(kdd, state)
+    # and the run can continue after recovery without corruption
+    for is_read, lba in ops[cut:]:
+        kdd.access(lba, is_read)
+    kdd.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=ops_strategy, data=st.data())
+def test_ssd_loss_at_any_point_restores_redundancy(ops, data):
+    kdd, raid = counting_system()
+    cut = data.draw(st.integers(0, len(ops)))
+    for is_read, lba in ops[:cut]:
+        kdd.access(lba, is_read)
+    recover_from_ssd_failure(kdd)
+    assert not raid.stale_stripes
+    # the array must now survive any single member loss
+    raid.fail_disk(data.draw(st.integers(0, 4)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    writes=st.lists(st.integers(0, 30), min_size=3, max_size=60),
+    data=st.data(),
+)
+def test_payload_survives_ssd_loss_then_disk_loss(writes, data):
+    """Strongest RPO=0 statement: write real bytes through the full KDD
+    data path, lose the SSD mid-run, resync, lose a disk — every
+    acknowledged write must still be reconstructable from the array."""
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=1024, page_size=128, store_data=True)
+    path = KDDDataPath(raid=raid, cache_pages=24, ways=8, page_size=128,
+                       dirty_limit=0.5)
+    content = ContentWorkload(31, change_fraction=0.15, page_size=128,
+                              seed=13)
+    cut = data.draw(st.integers(1, len(writes)))
+    latest: dict[int, bytes] = {}
+    for lba in writes[:cut]:
+        payload = content.next_version(lba)
+        path.write(lba, payload)
+        latest[lba] = payload
+    # SSD dies: all cache state (data, deltas, staging) is gone.
+    resync_stale_parity(raid)
+    assert not raid.stale_stripes
+    # Now a disk dies too.
+    victim = data.draw(st.integers(0, 4))
+    raid.fail_disk(victim)
+    for lba, payload in latest.items():
+        assert bytes(raid.read_data(lba)) == payload, lba
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops=ops_strategy)
+def test_double_power_failure(ops):
+    """Recovery is idempotent: crash, recover, crash again immediately."""
+    kdd, _ = counting_system()
+    for is_read, lba in ops:
+        kdd.access(lba, is_read)
+    first = recover_from_power_failure(kdd)
+    second = recover_from_power_failure(kdd)
+    assert {p.lba_raid: (p.state, p.dez_lpn) for p in first.pages.values()} == {
+        p.lba_raid: (p.state, p.dez_lpn) for p in second.pages.values()
+    }
+    verify_recovery(kdd, second)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=ops_strategy, data=st.data())
+def test_recovery_after_forced_cleaning(ops, data):
+    """Tiny pinned caches exercise forced cleaning; recovery must still
+    be exact right after those paths run."""
+    kdd, _ = counting_system(cache_pages=8)
+    for is_read, lba in ops:
+        kdd.access(lba, is_read)
+    state = recover_from_power_failure(kdd)
+    verify_recovery(kdd, state)

@@ -1,0 +1,86 @@
+"""Property-based tests for GF(2^8) arithmetic (RAID-6 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RaidError
+from repro.raid import gf_add, gf_div, gf_inv, gf_mul, gf_pow, generator_power
+
+elem = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+@given(elem, elem)
+def test_add_is_xor_and_self_inverse(a, b):
+    assert gf_add(a, b) == a ^ b
+    assert gf_add(gf_add(a, b), b) == a
+
+
+@given(elem)
+def test_mul_identity_and_zero(a):
+    assert gf_mul(a, 1) == a
+    assert gf_mul(a, 0) == 0
+
+
+@given(elem, nonzero, nonzero)
+def test_mul_associative_scalar(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(nonzero, nonzero)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elem, elem, nonzero)
+def test_distributive(a, b, c):
+    assert gf_mul(a ^ b, c) == gf_mul(a, c) ^ gf_mul(b, c)
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(elem, nonzero)
+def test_div_undoes_mul(a, b):
+    assert gf_div(gf_mul(a, b), b) == a
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(RaidError):
+        gf_div(1, 0)
+
+
+def test_scalar_out_of_field_rejected():
+    with pytest.raises(RaidError):
+        gf_mul(1, 256)
+
+
+@given(st.integers(0, 254))
+def test_generator_powers_cycle(i):
+    assert generator_power(i) == gf_pow(2, i)
+    assert generator_power(i) != 0
+
+
+def test_generator_powers_distinct():
+    powers = {generator_power(i) for i in range(255)}
+    assert len(powers) == 255  # 2 generates the full multiplicative group
+
+
+@given(st.binary(min_size=1, max_size=64), nonzero)
+def test_vectorised_mul_matches_scalar(data, b):
+    arr = np.frombuffer(data, dtype=np.uint8)
+    out = gf_mul(arr, b)
+    assert isinstance(out, np.ndarray)
+    for x, y in zip(arr.tolist(), out.tolist()):
+        assert gf_mul(x, b) == y
+
+
+@given(st.binary(min_size=4, max_size=32))
+def test_vectorised_mul_by_zero_and_one(data):
+    arr = np.frombuffer(data, dtype=np.uint8)
+    assert np.all(gf_mul(arr, 0) == 0)
+    assert np.array_equal(gf_mul(arr, 1), arr)

@@ -1,0 +1,118 @@
+"""Tests for the simulation runner, report rendering, and CLI."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import (
+    POLICIES,
+    build_policy,
+    make_raid_for_trace,
+    render_table,
+    simulate_policy,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.report import FigureResult
+from repro.cache import CacheConfig
+from repro.raid import RaidLevel
+from repro.traces import uniform_workload, zipf_workload
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return zipf_workload(3000, 1500, alpha=1.0, read_ratio=0.3, seed=5,
+                         name="small")
+
+
+class TestRunner:
+    def test_all_policies_run(self, small_trace):
+        for name in POLICIES:
+            r = simulate_policy(name, small_trace, cache_pages=256, seed=1)
+            assert r.policy == name
+            assert r.stats.accesses == 3000
+
+    def test_unknown_policy_rejected(self, small_trace):
+        with pytest.raises(ConfigError):
+            simulate_policy("arc", small_trace, 256)
+
+    def test_unknown_config_field_rejected(self, small_trace):
+        with pytest.raises(ConfigError):
+            simulate_policy("wt", small_trace, 256, not_a_field=1)
+
+    def test_raid_covers_trace_address_space(self, small_trace):
+        raid = make_raid_for_trace(small_trace)
+        assert raid.capacity_pages > small_trace.max_page
+
+    def test_raid_levels(self, small_trace):
+        for level in (RaidLevel.RAID0, RaidLevel.RAID1, RaidLevel.RAID5,
+                      RaidLevel.RAID6):
+            ndisks = 6 if level is RaidLevel.RAID6 else 5
+            raid = make_raid_for_trace(small_trace, level=level, ndisks=ndisks)
+            assert raid.capacity_pages > small_trace.max_page
+
+    def test_kdd_extras_populated(self, small_trace):
+        r = simulate_policy("kdd", small_trace, 256, seed=1)
+        assert "cleanings" in r.extras
+        assert "dez_pages" in r.extras
+
+    def test_flash_model_gives_waf(self):
+        trace = uniform_workload(800, 200, read_ratio=0.2, seed=2)
+        r = simulate_policy("wt", trace, cache_pages=128, flash_model=True)
+        assert r.extras["write_amplification"] >= 1.0
+
+    def test_row_shape(self, small_trace):
+        row = simulate_policy("wt", small_trace, 256).row()
+        for key in ("policy", "workload", "cache_pages", "hit_ratio",
+                    "ssd_write_pages", "raid_reads", "raid_writes"):
+            assert key in row
+
+    def test_deterministic_given_seed(self, small_trace):
+        a = simulate_policy("kdd", small_trace, 256, seed=3)
+        b = simulate_policy("kdd", small_trace, 256, seed=3)
+        assert a.ssd_write_pages == b.ssd_write_pages
+        assert a.hit_ratio == b.hit_ratio
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len({len(l) for l in lines[:2]}) == 1  # header and rule align
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_series_grouping(self):
+        fig = FigureResult("f", "t", rows=[
+            {"x": 2, "y": 20, "k": "a"},
+            {"x": 1, "y": 10, "k": "a"},
+            {"x": 1, "y": 30, "k": "b"},
+        ])
+        s = fig.series("x", "y", "k")
+        assert s["a"] == [(1, 10), (2, 20)]  # sorted by x
+        assert s["b"] == [(1, 30)]
+
+    def test_series_unknown_column(self):
+        fig = FigureResult("f", "t", rows=[{"x": 1}])
+        with pytest.raises(ConfigError):
+            fig.series("x", "nope", "x")
+
+    def test_render_includes_notes(self):
+        fig = FigureResult("f", "title", rows=[{"x": 1}], notes=["hello"])
+        assert "hello" in fig.render()
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table1" in out
+
+    def test_unknown_figure(self, capsys):
+        assert cli_main(["run", "fig99"]) == 2
+
+    def test_run_table1(self, capsys):
+        assert cli_main(["run", "table1", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Fin1" in out and "Web0" in out

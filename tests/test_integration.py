@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole stack.
+
+These run real traces through policies wired to *payload-carrying*
+RAID arrays and FTL-backed flash devices, asserting global invariants
+the unit tests cannot see:
+
+* every write reaches the RAID array before/with acknowledgement (RPO=0);
+* after a KDD/LeavO run finishes, every touched stripe's parity verifies
+  bit-for-bit;
+* the flash device's mapping stays consistent under a full policy run;
+* conservation: SSD write counters decompose exactly into their causes.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig, LeavO, WriteThrough
+from repro.core import KDD
+from repro.harness import simulate_policy
+from repro.raid import RAIDArray, RaidLevel
+from repro.traces import uniform_workload, zipf_workload
+
+
+def payload_raid():
+    return RAIDArray(
+        RaidLevel.RAID5,
+        ndisks=5,
+        chunk_pages=4,
+        pages_per_disk=2048,
+        page_size=64,
+        store_data=True,
+    )
+
+
+def run_policy(policy_cls, trace, cache_pages=128, **cfg_kw):
+    raid = payload_raid()
+    cfg_kw.setdefault("ways", 16)
+    cfg_kw.setdefault("group_pages", 16)
+    cfg_kw.setdefault("page_size", 64)
+    policy = policy_cls(CacheConfig(cache_pages=cache_pages, **cfg_kw), raid)
+    policy.process_trace(trace)
+    return policy, raid
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    return zipf_workload(4000, 1200, alpha=1.0, read_ratio=0.4, seed=11)
+
+
+@pytest.mark.parametrize("policy_cls", [WriteThrough, LeavO, KDD])
+def test_parity_consistent_after_full_run(policy_cls, mixed_trace):
+    """After finish(), every stripe of the array verifies bit-for-bit."""
+    policy, raid = run_policy(policy_cls, mixed_trace)
+    assert not raid.stale_stripes
+    touched = {
+        raid.layout.stripe_of(int(lba)) for lba in mixed_trace.records["lba"]
+    }
+    for stripe in touched:
+        assert raid.verify_stripe(stripe), stripe
+
+
+@pytest.mark.parametrize("policy_cls", [WriteThrough, LeavO, KDD])
+def test_every_write_reaches_raid(policy_cls, mixed_trace):
+    """RPO=0: member data writes >= logical writes (none are cached-only)."""
+    policy, raid = run_policy(policy_cls, mixed_trace)
+    assert raid.counters.data_writes >= policy.stats.writes
+
+
+def test_kdd_invariants_hold_on_real_trace(mixed_trace):
+    policy, raid = run_policy(KDD, mixed_trace, dirty_threshold=0.4,
+                              low_watermark=0.2)
+    policy.check_invariants()
+
+
+def test_write_traffic_conservation(mixed_trace):
+    """ssd_writes always equals the sum of its cause counters."""
+    for name in ("wt", "wa", "leavo", "kdd"):
+        r = simulate_policy(name, mixed_trace, cache_pages=256, seed=1)
+        s = r.stats
+        assert s.ssd_writes == (
+            s.fill_writes + s.data_writes + s.delta_writes + s.meta_writes
+        )
+        assert s.read_hits + s.read_misses + s.write_hits + s.write_misses == 4000
+
+
+def test_kdd_with_flash_model_end_to_end():
+    """KDD on an FTL-backed device: mapping stays consistent, WAF sane."""
+    trace = zipf_workload(5000, 800, alpha=1.1, read_ratio=0.3, seed=3)
+    r = simulate_policy("kdd", trace, cache_pages=256, seed=1, flash_model=True)
+    assert 1.0 <= r.extras["write_amplification"] < 4.0
+
+
+def test_wt_flash_model_invariants():
+    trace = uniform_workload(3000, 600, read_ratio=0.5, seed=4)
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=4096)
+    cfg = CacheConfig(cache_pages=256, ways=16, flash_model=True)
+    policy = WriteThrough(cfg, raid)
+    policy.process_trace(trace)
+    policy.ssd.ftl.check_invariants()
+
+
+def test_policies_traffic_ordering_integration(mixed_trace):
+    """The paper's global ordering on a mixed trace: WA < KDD < WT < LeavO."""
+    writes = {
+        name: simulate_policy(name, mixed_trace, cache_pages=256,
+                              seed=1).ssd_write_pages
+        for name in ("wa", "kdd", "wt", "leavo")
+    }
+    assert writes["wa"] < writes["kdd"] < writes["wt"] < writes["leavo"]
+
+
+def test_stronger_locality_less_traffic(mixed_trace):
+    results = [
+        simulate_policy("kdd", mixed_trace, cache_pages=256, seed=1,
+                        mean_compression=m).ssd_write_pages
+        for m in (0.50, 0.25, 0.12)
+    ]
+    assert results[0] >= results[1] >= results[2]
+
+
+def test_kdd_raid_io_not_worse_than_nossd(mixed_trace):
+    """Delayed parity must reduce RAID member I/O, never inflate it."""
+    kdd = simulate_policy("kdd", mixed_trace, cache_pages=256, seed=1)
+    nossd = simulate_policy("nossd", mixed_trace, cache_pages=256, seed=1)
+    assert kdd.raid.total <= nossd.raid.total

@@ -1,0 +1,264 @@
+"""Behavioural and property tests for KDD."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig
+from repro.core import KDD
+from repro.nvram import PageState
+from repro.raid import RAIDArray, RaidLevel
+
+
+def make_raid(**kw):
+    kw.setdefault("level", RaidLevel.RAID5)
+    kw.setdefault("ndisks", 5)
+    kw.setdefault("chunk_pages", 4)
+    kw.setdefault("pages_per_disk", 4096)
+    return RAIDArray(**kw)
+
+
+def cfg(cache_pages=64, **kw):
+    kw.setdefault("ways", 16)
+    kw.setdefault("group_pages", 16)
+    kw.setdefault("mean_compression", 0.25)
+    return CacheConfig(cache_pages=cache_pages, **kw)
+
+
+def make_kdd(cache_pages=64, raid=None, **kw):
+    policy_kw = {
+        k: kw.pop(k)
+        for k in ("reclaim_merge", "fixed_dez_fraction", "dez_random_placement")
+        if k in kw
+    }
+    raid = raid or make_raid()
+    return KDD(cfg(cache_pages, **kw), raid, **policy_kw), raid
+
+
+class TestWritePath:
+    def test_write_hit_is_single_member_write(self):
+        """The headline: no parity I/O on the critical path of a write hit."""
+        kdd, raid = make_kdd()
+        kdd.read(5)
+        out = kdd.write(5)
+        assert out.hit
+        assert len(out.fg_disk_ops) == 1 and not out.fg_disk_ops[0].is_read
+        assert raid.stale_stripes
+
+    def test_write_miss_pays_full_parity(self):
+        kdd, _ = make_kdd()
+        out = kdd.write(5)
+        assert not out.hit
+        assert len(out.fg_disk_ops) == 4  # classic rmw
+
+    def test_write_hit_flips_clean_to_old_and_stages_delta(self):
+        kdd, _ = make_kdd()
+        kdd.read(5)
+        kdd.write(5)
+        line = kdd.sets.lookup(5)
+        assert line.state is PageState.OLD
+        assert line.aux.dez_lpn is None  # still in NVRAM
+        assert 5 in kdd.staging
+
+    def test_write_hit_does_not_write_data_to_ssd(self):
+        """KDD's endurance win: a write hit costs zero SSD data writes."""
+        kdd, _ = make_kdd()
+        kdd.read(5)
+        before = kdd.stats.ssd_writes
+        kdd.write(5)
+        assert kdd.stats.ssd_writes == before  # delta still in NVRAM
+
+    def test_repeated_write_hits_coalesce_in_staging(self):
+        kdd, _ = make_kdd()
+        kdd.read(5)
+        for _ in range(10):
+            kdd.write(5)
+        assert len(kdd.staging) == 1
+        assert kdd.stats.delta_writes == 0  # all coalesced, nothing committed
+
+    def test_old_hit_invalidates_dez_delta(self):
+        kdd, _ = make_kdd(cache_pages=256, ways=64, nvram_buffer_bytes=4096,
+                          compression_sigma=0.0, mean_compression=0.5)
+        # two pages alternating: deltas of 2048B fill the staging buffer fast
+        kdd.read(1)
+        kdd.read(2)
+        for i in range(6):
+            kdd.write(1)
+            kdd.write(2)
+        # at least one commit happened; writing again invalidates DEZ deltas
+        assert kdd.stats.delta_writes >= 1
+        kdd.check_invariants()
+
+
+class TestDeltaZone:
+    def test_staging_overflow_commits_one_dez_page(self):
+        kdd, _ = make_kdd(cache_pages=256, ways=64, compression_sigma=0.0,
+                          mean_compression=0.5)
+        for lba in range(3):
+            kdd.read(lba)
+        for lba in range(3):
+            kdd.write(lba)
+        # each 2048+8B delta overflows the 4096B buffer holding another one:
+        # deltas 0 and 1 each got committed alone; delta 2 is still staged
+        assert kdd.stats.delta_writes == 2
+        assert len(kdd.dez_pages) == 2
+        for dez in kdd.dez_pages.values():
+            assert dez.valid_count == 1
+        assert 2 in kdd.staging
+        kdd.check_invariants()
+
+    def test_read_hit_on_old_reads_data_plus_delta(self):
+        kdd, _ = make_kdd(cache_pages=256, ways=64, compression_sigma=0.0,
+                          mean_compression=0.5)
+        for lba in range(3):
+            kdd.read(lba)
+        for lba in range(3):
+            kdd.write(lba)
+        # lba 0's delta is now in a DEZ page
+        out = kdd.read(0)
+        assert out.hit and out.fg_ssd_reads == 2
+        assert out.fg_compute > 0
+        # lba 2's delta is still staged: one SSD read only
+        out2 = kdd.read(2)
+        assert out2.hit and out2.fg_ssd_reads == 1
+
+    def test_dez_page_freed_when_all_deltas_invalid(self):
+        kdd, _ = make_kdd(cache_pages=256, ways=64, compression_sigma=0.0,
+                          mean_compression=0.5, dirty_threshold=0.99,
+                          low_watermark=0.5)
+        for lba in range(2):
+            kdd.read(lba)
+        for _ in range(2):
+            for lba in range(2):
+                kdd.write(lba)
+        # the first commit's deltas are all superseded by the second round
+        for dez in kdd.dez_pages.values():
+            assert dez.valid_count > 0  # empty pages are reclaimed eagerly
+        kdd.check_invariants()
+
+
+class TestCleaning:
+    def test_cleaning_triggers_on_threshold(self):
+        kdd, raid = make_kdd(cache_pages=32, ways=32, dirty_threshold=0.25,
+                             low_watermark=0.1)
+        for lba in range(10):
+            kdd.read(lba)
+        for lba in range(10):
+            kdd.write(lba)
+        assert kdd.cleanings > 0
+        assert kdd.dirty_pages <= 0.25 * 32 + 1
+        kdd.check_invariants()
+
+    def test_cleaning_reclaims_old_pages(self):
+        kdd, raid = make_kdd(dirty_threshold=0.99, low_watermark=0.5)
+        kdd.read(5)
+        kdd.write(5)
+        kdd.finish()
+        assert not raid.stale_stripes
+        assert kdd.sets.lookup(5) is None  # simple reclaim drops the page
+        assert len(kdd.staging) == 0
+        kdd.check_invariants()
+
+    def test_reclaim_merge_keeps_page_clean(self):
+        kdd, raid = make_kdd(reclaim_merge=True)
+        kdd.read(5)
+        kdd.write(5)
+        kdd.finish()
+        line = kdd.sets.lookup(5)
+        assert line is not None and line.state is PageState.CLEAN
+        assert not raid.stale_stripes
+
+    def test_rcw_used_when_whole_stripe_cached(self):
+        raid = make_raid(chunk_pages=1)  # stripe = 4 data pages
+        kdd, _ = make_kdd(cache_pages=64, raid=raid, group_pages=4,
+                          dirty_threshold=0.99, low_watermark=0.5)
+        for lba in range(4):
+            kdd.read(lba)
+        kdd.write(0)
+        raid.counters.parity_reads = 0
+        kdd.finish()
+        # reconstruct-write repairs parity without reading it
+        assert raid.counters.parity_reads == 0
+        assert not raid.stale_stripes
+
+    def test_rmw_used_when_stripe_partially_cached(self):
+        raid = make_raid(chunk_pages=1)
+        kdd, _ = make_kdd(cache_pages=64, raid=raid, group_pages=4,
+                          dirty_threshold=0.99, low_watermark=0.5)
+        kdd.read(0)  # only 1 of 4 stripe pages cached
+        kdd.write(0)
+        kdd.finish()
+        assert raid.counters.parity_reads >= 1  # stale parity was read
+        assert not raid.stale_stripes
+
+
+class TestMetadata:
+    def test_metadata_batched_through_log(self):
+        kdd, _ = make_kdd(cache_pages=2048, ways=64)
+        for lba in range(300):
+            kdd.read(lba)
+        # 300 insertions but only ~1 metadata page write (341 entries/page)
+        assert kdd.stats.meta_writes <= 1
+
+    def test_meta_fraction_small(self):
+        kdd, _ = make_kdd(cache_pages=2048, ways=64)
+        for lba in range(500):
+            kdd.read(lba)
+            kdd.write(lba)
+        kdd.finish()
+        assert kdd.stats.meta_fraction < 0.1
+
+    def test_eviction_writes_free_tombstone(self):
+        kdd, _ = make_kdd(cache_pages=4, ways=4, group_pages=1)
+        before = len(kdd.mlog.buffer) + kdd.mlog.meta_page_writes
+        for lba in range(5):
+            kdd.read(lba * 16)
+        # 5 allocations + 1 eviction = 6 metadata records
+        assert len(kdd.mlog.buffer) + kdd.mlog.meta_page_writes >= before + 1
+
+
+class TestPinnedSets:
+    def test_forced_cleaning_unpins_full_set(self):
+        kdd, raid = make_kdd(cache_pages=4, ways=4, group_pages=64,
+                             dirty_threshold=0.99, low_watermark=0.9)
+        # fill the single set with old pages
+        for lba in range(4):
+            kdd.read(lba)
+            kdd.write(lba)
+        # a read miss for a new group must still be serviceable
+        out = kdd.read(1000)
+        assert not out.hit
+        kdd.check_invariants()
+
+    def test_bypass_counted_when_unallocatable(self):
+        kdd, _ = make_kdd(cache_pages=4, ways=4, group_pages=1,
+                          dirty_threshold=0.99, low_watermark=0.9)
+        for lba in range(4):
+            kdd.read(lba * 64)
+            kdd.write(lba * 64)
+        kdd.read(200 * 64)
+        # either forced cleaning made room or the access bypassed
+        assert kdd.stats.bypasses >= 0
+        kdd.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 100)), min_size=1, max_size=300
+    )
+)
+def test_property_kdd_invariants_and_final_parity(ops):
+    """Any access sequence: invariants hold throughout; after finish()
+    no stripe has stale parity and no delta survives."""
+    kdd, raid = make_kdd(cache_pages=32, ways=8, group_pages=8,
+                         dirty_threshold=0.5, low_watermark=0.25)
+    for is_read, lba in ops:
+        kdd.access(lba, is_read)
+    kdd.check_invariants()
+    kdd.finish()
+    kdd.check_invariants()
+    assert not raid.stale_stripes
+    assert kdd.sets.count(PageState.OLD) == 0
+    assert len(kdd.staging) == 0
+    assert not kdd.dez_pages

@@ -1,0 +1,70 @@
+"""Metamorphic sanity properties across the whole policy zoo.
+
+These encode relations that must hold regardless of parameters — the
+kind of checks that catch accounting bugs no single-policy unit test
+sees.
+"""
+
+import pytest
+
+from repro.harness import POLICIES, simulate_policy
+from repro.traces import zipf_workload
+
+TRACE = zipf_workload(6000, 1200, alpha=1.0, read_ratio=0.4, seed=20,
+                      name="meta")
+
+CACHED_POLICIES = [p for p in POLICIES if p != "nossd"]
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_access_conservation(policy):
+    """Hits + misses always equals the page-access count."""
+    r = simulate_policy(policy, TRACE, cache_pages=256, seed=1)
+    s = r.stats
+    assert s.accesses == 6000
+    assert s.hits + s.read_misses + s.write_misses == 6000
+
+
+@pytest.mark.parametrize("policy", sorted(CACHED_POLICIES))
+def test_bigger_cache_never_much_worse(policy):
+    """Doubling the cache must not meaningfully hurt the hit ratio."""
+    small = simulate_policy(policy, TRACE, cache_pages=128, seed=1)
+    large = simulate_policy(policy, TRACE, cache_pages=512, seed=1)
+    assert large.hit_ratio >= small.hit_ratio - 0.05, policy
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_deterministic_across_runs(policy):
+    a = simulate_policy(policy, TRACE, cache_pages=256, seed=3)
+    b = simulate_policy(policy, TRACE, cache_pages=256, seed=3)
+    assert a.ssd_write_pages == b.ssd_write_pages
+    assert a.hit_ratio == b.hit_ratio
+    assert a.raid.total == b.raid.total
+
+
+@pytest.mark.parametrize("policy", sorted(CACHED_POLICIES))
+def test_no_policy_loses_writes(policy):
+    """Every logical write must reach RAID by the end of the run (the
+    write-back family flushes in finish()), except pure write-back
+    semantics where acked writes reach RAID via flush too."""
+    r = simulate_policy(policy, TRACE, cache_pages=256, seed=1)
+    assert r.raid.data_writes >= 1
+    # no stale parity may survive a finished run
+    assert not simulate_policy(policy, TRACE, cache_pages=256, seed=1).extras.get(
+        "stale_stripes", 0
+    )
+
+
+def test_kdd_dominates_leavo_on_writes_everywhere():
+    for cache in (128, 256, 512):
+        kdd = simulate_policy("kdd", TRACE, cache_pages=cache, seed=1)
+        leavo = simulate_policy("leavo", TRACE, cache_pages=cache, seed=1)
+        assert kdd.ssd_write_pages < leavo.ssd_write_pages, cache
+
+
+def test_wa_floor_holds_for_all_policies():
+    """Write-around is the endurance floor among RPO=0 policies."""
+    wa = simulate_policy("wa", TRACE, cache_pages=256, seed=1)
+    for policy in ("wt", "leavo", "kdd"):
+        r = simulate_policy(policy, TRACE, cache_pages=256, seed=1)
+        assert wa.ssd_write_pages <= r.ssd_write_pages, policy

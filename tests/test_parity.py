@@ -1,0 +1,111 @@
+"""Property-based tests for RAID parity math: P, Q, recovery, deltas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RaidError
+from repro.raid import (
+    apply_delta_to_p,
+    compute_p,
+    compute_q,
+    recover_one_data,
+    recover_two_data,
+    update_p,
+    verify_stripe,
+    xor_blocks,
+)
+
+BLOCK = 32
+
+
+def blocks(n_min=2, n_max=6):
+    return st.lists(
+        st.binary(min_size=BLOCK, max_size=BLOCK).map(
+            lambda b: np.frombuffer(b, dtype=np.uint8)
+        ),
+        min_size=n_min,
+        max_size=n_max,
+    )
+
+
+@given(blocks())
+def test_p_then_any_single_loss_recovers(data):
+    p = compute_p(data)
+    for lost in range(len(data)):
+        survivors = [d for i, d in enumerate(data) if i != lost]
+        rec = recover_one_data(survivors, p)
+        assert np.array_equal(rec, data[lost])
+
+
+@given(blocks(n_min=3, n_max=6))
+@settings(max_examples=50)
+def test_p_q_recover_any_two_losses(data):
+    p = compute_p(data)
+    q = compute_q(data)
+    n = len(data)
+    for x in range(n):
+        for y in range(x + 1, n):
+            surviving = {i: d for i, d in enumerate(data) if i not in (x, y)}
+            dx, dy = recover_two_data(surviving, p, q, x, y, n)
+            assert np.array_equal(dx, data[x])
+            assert np.array_equal(dy, data[y])
+
+
+@given(blocks())
+def test_verify_stripe_detects_corruption(data):
+    p = compute_p(data)
+    q = compute_q(data)
+    assert verify_stripe(data, p, q)
+    bad = p.copy()
+    bad[0] ^= 0xFF
+    assert not verify_stripe(data, bad)
+    bad_q = q.copy()
+    bad_q[-1] ^= 0x01
+    assert not verify_stripe(data, p, bad_q)
+
+
+@given(blocks(), st.binary(min_size=BLOCK, max_size=BLOCK))
+def test_rmw_update_p_equals_recompute(data, new_bytes):
+    new_block = np.frombuffer(new_bytes, dtype=np.uint8)
+    p = compute_p(data)
+    updated = update_p(p, data[0], new_block)
+    recomputed = compute_p([new_block] + list(data[1:]))
+    assert np.array_equal(updated, recomputed)
+
+
+@given(blocks(n_min=3, n_max=5), st.data())
+def test_delta_repair_equals_recompute(data, draw):
+    """KDD cleaner invariant: stale P ^ (old^new deltas) == fresh P."""
+    stale_p = compute_p(data)
+    new_data = list(data)
+    deltas = []
+    # change an arbitrary subset of blocks
+    for i in range(len(data)):
+        if draw.draw(st.booleans()):
+            nb = np.frombuffer(
+                draw.draw(st.binary(min_size=BLOCK, max_size=BLOCK)), dtype=np.uint8
+            )
+            deltas.append(data[i] ^ nb)
+            new_data[i] = nb
+    if not deltas:
+        return
+    repaired = apply_delta_to_p(stale_p, deltas)
+    assert np.array_equal(repaired, compute_p(new_data))
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(RaidError):
+        xor_blocks([np.zeros(4, np.uint8), np.zeros(5, np.uint8)])
+    with pytest.raises(RaidError):
+        xor_blocks([])
+
+
+def test_recover_two_rejects_bad_indices():
+    data = [np.zeros(BLOCK, np.uint8) for _ in range(4)]
+    p, q = compute_p(data), compute_q(data)
+    with pytest.raises(RaidError):
+        recover_two_data({0: data[0], 1: data[1]}, p, q, 2, 2, 4)
+    with pytest.raises(RaidError):
+        recover_two_data({i: data[i] for i in range(3)}, p, q, 2, 3, 4)

@@ -1,0 +1,204 @@
+"""Behavioural tests for the baseline cache policies (WT/WA/WB/LeavO/Nossd)."""
+
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    LeavO,
+    Nossd,
+    WriteAround,
+    WriteBack,
+    WriteThrough,
+)
+from repro.nvram import PageState
+from repro.raid import RAIDArray, RaidLevel
+
+
+def make_raid(**kw):
+    kw.setdefault("level", RaidLevel.RAID5)
+    kw.setdefault("ndisks", 5)
+    kw.setdefault("chunk_pages", 4)
+    kw.setdefault("pages_per_disk", 4096)
+    return RAIDArray(**kw)
+
+
+def cfg(cache_pages=64, **kw):
+    kw.setdefault("ways", 16)
+    kw.setdefault("group_pages", 16)
+    return CacheConfig(cache_pages=cache_pages, **kw)
+
+
+class TestNossd:
+    def test_everything_is_a_miss(self):
+        p = Nossd(cfg(), make_raid())
+        p.read(0)
+        p.write(1)
+        assert p.stats.hits == 0
+        assert p.stats.read_misses == 1 and p.stats.write_misses == 1
+        assert p.stats.ssd_writes == 0
+
+    def test_write_pays_small_write_penalty(self):
+        raid = make_raid()
+        p = Nossd(cfg(), raid)
+        out = p.write(0)
+        assert len(out.fg_disk_ops) == 4  # 2 reads + 2 writes
+
+
+class TestWriteThrough:
+    def test_read_miss_fills_then_hits(self):
+        p = WriteThrough(cfg(), make_raid())
+        out1 = p.read(5)
+        assert not out1.hit and out1.bg_ssd_writes == 1
+        out2 = p.read(5)
+        assert out2.hit and out2.fg_ssd_reads == 1
+        assert p.stats.fill_writes == 1
+
+    def test_write_goes_to_both_ssd_and_raid(self):
+        p = WriteThrough(cfg(), make_raid())
+        out = p.write(3)
+        assert out.fg_disk_ops  # parity update on RAID
+        assert p.stats.data_writes == 1
+        out2 = p.write(3)  # hit: overwrite in place
+        assert out2.hit and p.stats.data_writes == 2
+
+    def test_write_hit_still_pays_parity(self):
+        p = WriteThrough(cfg(), make_raid())
+        p.write(3)
+        out = p.write(3)
+        assert len(out.fg_disk_ops) == 4  # rmw every time
+
+    def test_lru_eviction_when_set_full(self):
+        p = WriteThrough(cfg(cache_pages=4, ways=4, group_pages=1), make_raid())
+        for lba in range(5):  # 5th forces an eviction
+            p.read(lba * 16)  # scatter groups; all land in the only set
+        assert len(p.sets) == 4
+        assert p.stats.bypasses == 0
+        p.check_invariants()
+
+    def test_no_stale_parity_ever(self):
+        raid = make_raid()
+        p = WriteThrough(cfg(), raid)
+        for lba in range(20):
+            p.write(lba)
+            p.write(lba)
+        assert not raid.stale_stripes
+
+
+class TestWriteAround:
+    def test_writes_never_touch_ssd(self):
+        p = WriteAround(cfg(), make_raid())
+        for lba in range(10):
+            p.write(lba)
+        assert p.stats.ssd_writes == 0
+
+    def test_write_invalidates_cached_copy(self):
+        p = WriteAround(cfg(), make_raid())
+        p.read(5)
+        assert 5 in p.sets
+        p.write(5)
+        assert 5 not in p.sets  # stale copy dropped
+        out = p.read(5)
+        assert not out.hit
+
+    def test_read_misses_fill(self):
+        p = WriteAround(cfg(), make_raid())
+        p.read(1)
+        assert p.stats.fill_writes == 1
+
+
+class TestWriteBack:
+    def test_write_hits_avoid_raid(self):
+        p = WriteBack(cfg(), make_raid())
+        p.write(1)
+        out = p.write(1)
+        assert out.hit and not out.fg_disk_ops
+        assert p.dirty_pages == 1
+
+    def test_eviction_flushes_dirty(self):
+        raid = make_raid()
+        p = WriteBack(cfg(cache_pages=4, ways=4, group_pages=1), raid)
+        for lba in range(5):
+            p.write(lba * 16)
+        # one dirty page must have been flushed to make room
+        assert raid.counters.data_writes >= 1
+        p.check_invariants()
+
+    def test_finish_flushes_all_dirty(self):
+        raid = make_raid()
+        p = WriteBack(cfg(), raid)
+        for lba in range(8):
+            p.write(lba)
+        p.finish()
+        assert p.dirty_pages == 0
+        assert raid.counters.data_writes >= 8
+
+
+class TestLeavO:
+    def test_write_hit_keeps_old_and_new(self):
+        p = LeavO(cfg(), make_raid())
+        p.read(5)  # cache it (clean)
+        out = p.write(5)
+        assert out.hit
+        line = p.sets.lookup(5)
+        assert line.state is PageState.OLD
+        assert line.aux is not None  # twin slot with the latest version
+        assert p.sets.borrowed_slots == 1
+
+    def test_write_hit_delays_parity(self):
+        raid = make_raid()
+        p = LeavO(cfg(), raid)
+        p.read(5)
+        out = p.write(5)
+        assert len(out.fg_disk_ops) == 1  # data write only, no parity
+        assert raid.stale_stripes
+
+    def test_second_write_hit_overwrites_twin(self):
+        p = LeavO(cfg(), make_raid())
+        p.read(5)
+        p.write(5)
+        borrowed_before = p.sets.borrowed_slots
+        p.write(5)
+        assert p.sets.borrowed_slots == borrowed_before  # no third copy
+
+    def test_metadata_persisted_per_update(self):
+        p = LeavO(cfg(), make_raid())
+        # every insert/update pushes meta_bytes_per_update towards a page
+        n = (p.config.page_size // LeavO.meta_bytes_per_update) + 1
+        for lba in range(n):
+            p.read(lba)
+        assert p.stats.meta_writes >= 1
+
+    def test_cleaning_promotes_old_to_clean(self):
+        raid = make_raid()
+        p = LeavO(cfg(cache_pages=16, ways=16, dirty_threshold=0.3,
+                      low_watermark=0.1), raid)
+        for lba in range(6):
+            p.read(lba)
+            p.write(lba)  # six old/new pairs = 12 pinned of 16
+        assert not raid.stale_stripes or p.sets.count(PageState.OLD) < 6
+        p.finish()
+        assert not raid.stale_stripes
+        assert p.sets.count(PageState.OLD) == 0
+        assert p.sets.borrowed_slots == 0
+        p.check_invariants()
+
+    def test_consumes_more_space_than_wt(self):
+        """The paper's core criticism: redundant versions lower hit ratio."""
+        raid = make_raid()
+        cfg_small = cfg(cache_pages=8, ways=8, group_pages=1,
+                        dirty_threshold=1.0, low_watermark=1.0)
+        p = LeavO(cfg_small, raid)
+        for lba in range(4):
+            p.read(lba * 16)
+            p.write(lba * 16)
+        # 4 lines + 4 twins = full cache of 8 slots
+        assert len(p.sets) + p.sets.borrowed_slots == 8
+
+    def test_finish_repairs_all_parity(self):
+        raid = make_raid()
+        p = LeavO(cfg(), raid)
+        for lba in range(10):
+            p.read(lba)
+            p.write(lba)
+        p.finish()
+        assert not raid.stale_stripes

@@ -1,0 +1,132 @@
+"""Tests for the related-work small-write mitigations (Parity Logging, AFRAID)."""
+
+import pytest
+
+from repro.errors import ConfigError, DegradedError
+from repro.raid import (
+    AfraidRaid,
+    ParityLoggingRaid,
+    RAIDArray,
+    RaidLevel,
+)
+
+
+def r5(chunk_pages=4, pages_per_disk=4096):
+    return RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=chunk_pages,
+                     pages_per_disk=pages_per_disk)
+
+
+class TestParityLogging:
+    def test_small_write_is_one_read_one_write(self):
+        pl = ParityLoggingRaid(r5(), log_pages=256, nvram_pages=16)
+        ops = pl.write(0)
+        assert len(ops) == 2
+        assert ops[0].is_read and not ops[1].is_read
+        assert ops[0].disk == ops[1].disk  # both touch the data disk only
+
+    def test_stripe_marked_stale_until_reintegration(self):
+        pl = ParityLoggingRaid(r5(), log_pages=256, nvram_pages=16)
+        pl.write(0)
+        assert pl.array.stale_stripes
+        pl.flush()
+        assert not pl.array.stale_stripes
+
+    def test_nvram_flush_is_sequential_append(self):
+        pl = ParityLoggingRaid(r5(), log_pages=256, nvram_pages=4)
+        all_ops = []
+        for lba in range(4):
+            all_ops += pl.write(lba)
+        log_ops = [op for op in all_ops if op.disk == pl.log_disk]
+        assert len(log_ops) == 1          # one batched append
+        assert log_ops[0].npages == 4     # of all four images
+
+    def test_log_full_triggers_reintegration(self):
+        pl = ParityLoggingRaid(r5(), log_pages=8, nvram_pages=4)
+        for lba in range(12):
+            pl.write(lba)
+        assert pl.reintegrations >= 1
+        assert pl.counters.reintegration_ios > 0
+
+    def test_fewer_random_ios_than_rmw(self):
+        """The point of parity logging: less random I/O per small write."""
+        pl = ParityLoggingRaid(r5(), log_pages=4096, nvram_pages=64)
+        rmw = r5()
+        for lba in range(100):
+            pl.write(lba)
+            rmw.write(lba)
+        pl.flush()
+        # rmw: 400 member I/Os; parity logging: 200 random + sequential rest
+        random_ios = pl.counters.data_reads + pl.counters.data_writes
+        assert random_ios == 200
+        assert rmw.counters.total == 400
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParityLoggingRaid(r5(), log_pages=4, nvram_pages=8)
+        raid0 = RAIDArray(RaidLevel.RAID0, ndisks=4, chunk_pages=4,
+                          pages_per_disk=64)
+        with pytest.raises(ConfigError):
+            ParityLoggingRaid(raid0)
+
+    def test_reads_pass_through(self):
+        pl = ParityLoggingRaid(r5())
+        ops = pl.read(0)
+        assert len(ops) == 1 and ops[0].is_read
+
+
+class TestAfraid:
+    def test_write_is_single_io(self):
+        af = AfraidRaid(r5())
+        ops = af.write(0)
+        assert len(ops) == 1 and not ops[0].is_read
+
+    def test_window_of_vulnerability_grows_then_clears(self):
+        af = AfraidRaid(r5(), max_unredundant_stripes=1000)
+        stripe_pages = af.array.layout.stripe_data_pages
+        for i in range(5):
+            af.write(i * stripe_pages)
+        assert af.window_of_vulnerability == 5
+        af.idle_repair()
+        assert af.window_of_vulnerability == 0
+
+    def test_bounded_unredundant_stripes(self):
+        af = AfraidRaid(r5(), max_unredundant_stripes=4)
+        stripe_pages = af.array.layout.stripe_data_pages
+        for i in range(20):
+            af.write(i * stripe_pages)
+        assert af.window_of_vulnerability <= 5
+        assert af.idle_repairs >= 1
+
+    def test_disk_failure_during_window_is_data_loss(self):
+        """The availability flaw KDD fixes by keeping deltas in SSD."""
+        af = AfraidRaid(r5())
+        af.write(0)
+        af.array.fail_disk(af.array.layout.locate(0).disk)
+        with pytest.raises(DegradedError):
+            af.idle_repair()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AfraidRaid(r5(), max_unredundant_stripes=0)
+
+
+class TestComparisonWithKdd:
+    def test_kdd_keeps_redundancy_where_afraid_does_not(self):
+        """Same write pattern: AFRAID exposes a window; KDD's window is
+        closed by the SSD-resident deltas (resync possible anytime)."""
+        from repro.cache import CacheConfig
+        from repro.core import KDD
+
+        af = AfraidRaid(r5(), max_unredundant_stripes=1000)
+        kdd_raid = r5()
+        kdd = KDD(CacheConfig(cache_pages=256, ways=16), kdd_raid)
+        for lba in range(50):
+            af.write(lba)
+            kdd.access(lba, is_read=False)
+            kdd.access(lba, is_read=False)  # write hit -> delayed parity
+        # both have stale parity now...
+        assert af.window_of_vulnerability > 0
+        assert kdd_raid.stale_stripes
+        # ...but KDD can always repair from cache state without data reads
+        kdd.finish()
+        assert not kdd_raid.stale_stripes

@@ -1,0 +1,125 @@
+"""Tests for the two-tier RAID-1/RAID-5 hierarchy (HotMirroring/AutoRAID)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.raid import RAIDArray, RaidLevel, TieredRaid
+from repro.traces import zipf_workload
+
+
+def make_tiered(mirror_pages=16, promote_on_write=True):
+    cold = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=1 << 12)
+    return TieredRaid(cold, mirror_pages=mirror_pages,
+                      promote_on_write=promote_on_write)
+
+
+class TestPlacement:
+    def test_first_write_promotes(self):
+        t = make_tiered()
+        t.write(5)
+        assert t.is_hot(5)
+        assert t.counters.promotions == 1
+
+    def test_hot_write_costs_two_member_writes(self):
+        t = make_tiered()
+        t.write(5)  # promotion
+        before = t.member_ios
+        t.write(5)  # pure hot write
+        writes = t.member_ios - before
+        assert writes == 2  # both mirrors, no parity
+
+    def test_cold_write_without_promotion(self):
+        t = make_tiered(promote_on_write=False)
+        ops = t.write(5)
+        assert not t.is_hot(5)
+        assert len(ops) == 4  # plain RAID-5 rmw
+
+    def test_reads_follow_tier(self):
+        t = make_tiered()
+        t.write(5)
+        ops = t.read(5)
+        assert len(ops) == 1  # one mirror copy
+        ops_cold = t.read(100)
+        assert len(ops_cold) == 1
+        assert not t.is_hot(100)
+
+    def test_out_of_range(self):
+        t = make_tiered()
+        with pytest.raises(ConfigError):
+            t.write(t.cold.capacity_pages)
+
+
+class TestMigration:
+    def test_lru_demotion_when_full(self):
+        t = make_tiered(mirror_pages=2)
+        t.write(1)
+        t.write(2)
+        t.write(3)  # demotes 1 (least recently written)
+        assert not t.is_hot(1)
+        assert t.is_hot(2) and t.is_hot(3)
+        assert t.counters.demotions == 1
+        t.check_invariants()
+
+    def test_rewrite_refreshes_recency(self):
+        t = make_tiered(mirror_pages=2)
+        t.write(1)
+        t.write(2)
+        t.write(1)  # 1 becomes MRU
+        t.write(3)  # demotes 2
+        assert t.is_hot(1) and not t.is_hot(2)
+
+    def test_demotion_pays_the_small_write(self):
+        t = make_tiered(mirror_pages=1)
+        t.write(1)
+        before = t.cold.counters.total
+        t.write(2)  # demote 1: mirror read + RAID-5 rmw
+        assert t.cold.counters.total - before >= 4
+
+    def test_demote_all(self):
+        t = make_tiered(mirror_pages=8)
+        for lba in range(5):
+            t.write(lba)
+        t.demote_all()
+        assert t.hot_pages == 0
+        t.check_invariants()
+
+
+class TestEconomics:
+    def test_hot_working_set_beats_plain_raid5(self):
+        """When the write working set fits the mirror, most writes cost
+        2 I/Os instead of 4 — HotMirroring's whole premise."""
+        trace = zipf_workload(4000, 2000, alpha=1.2, read_ratio=0.0, seed=9)
+        tiered = make_tiered(mirror_pages=256)
+        plain = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                          pages_per_disk=1 << 12)
+        for req in trace:
+            lba = req.lba % tiered.cold.capacity_pages
+            tiered.write(lba)
+            plain.write(lba)
+        assert tiered.member_ios < plain.counters.total
+
+    def test_thrashing_working_set_pays_migration(self):
+        """A uniformly-random write stream larger than the mirror makes
+        the tier thrash: promotions+demotions on nearly every write."""
+        trace = zipf_workload(1000, 4000, alpha=0.0, read_ratio=0.0, seed=9)
+        t = make_tiered(mirror_pages=16)
+        for req in trace:
+            t.write(req.lba % t.cold.capacity_pages)
+        assert t.counters.migrations > 900
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 60)),
+                    max_size=200))
+def test_property_slot_conservation(ops):
+    t = make_tiered(mirror_pages=8)
+    for is_read, lba in ops:
+        if is_read:
+            t.read(lba)
+        else:
+            t.write(lba)
+    t.check_invariants()
+    assert t.hot_pages <= 8

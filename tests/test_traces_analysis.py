@@ -1,0 +1,140 @@
+"""Tests for the locality analysis tools."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.traces import (
+    Trace,
+    lru_stack_distances,
+    reuse_profile,
+    uniform_workload,
+    working_set_sizes,
+    write_hit_potential,
+    zipf_workload,
+)
+from repro.traces.record import empty_records
+
+
+def trace_from_pages(pages, is_read=True):
+    rec = empty_records(len(pages))
+    for i, p in enumerate(pages):
+        rec[i] = (float(i), p, 1, is_read)
+    return Trace(rec)
+
+
+class TestStackDistances:
+    def test_cold_misses_are_minus_one(self):
+        d = lru_stack_distances(np.array([1, 2, 3]))
+        assert d.tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse_distance_zero(self):
+        d = lru_stack_distances(np.array([7, 7]))
+        assert d.tolist() == [-1, 0]
+
+    def test_classic_example(self):
+        # a b c a : distance of the second 'a' is 2 (b and c in between)
+        d = lru_stack_distances(np.array([1, 2, 3, 1]))
+        assert d.tolist() == [-1, -1, -1, 2]
+
+    def test_duplicates_between_reuses_counted_once(self):
+        # a b b a : only one distinct page between the two a's
+        d = lru_stack_distances(np.array([1, 2, 2, 1]))
+        assert d[3] == 1
+
+    def test_empty(self):
+        assert len(lru_stack_distances(np.array([], dtype=np.int64))) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 10), max_size=60))
+    def test_property_matches_naive_stack(self, pages):
+        """Fenwick implementation equals the naive LRU-stack simulation."""
+        arr = np.array(pages, dtype=np.int64)
+        fast = lru_stack_distances(arr)
+        stack: list[int] = []
+        for i, p in enumerate(pages):
+            if p in stack:
+                idx = stack.index(p)
+                assert fast[i] == idx, (i, pages)
+                stack.pop(idx)
+            else:
+                assert fast[i] == -1
+            stack.insert(0, p)
+
+
+class TestReuseProfile:
+    def test_hit_ratio_bound_monotone_in_cache(self):
+        tr = zipf_workload(5000, 500, alpha=1.0, seed=1)
+        prof = reuse_profile(tr)
+        h_small = prof.hit_ratio_for_cache(50)
+        h_large = prof.hit_ratio_for_cache(500)
+        assert h_small <= h_large
+        assert prof.reuse_fraction > 0.5
+
+    def test_full_cache_hits_all_reuses(self):
+        tr = trace_from_pages([1, 2, 1, 2, 1])
+        prof = reuse_profile(tr)
+        assert prof.hit_ratio_for_cache(10) == pytest.approx(3 / 5)
+
+    def test_mincache_for_hit_ratio(self):
+        tr = trace_from_pages([1, 2, 3, 1, 2, 3])
+        prof = reuse_profile(tr)  # 3 reuses at distance 2 each
+        assert prof.mincache_for_hit_ratio(0.5) == 3
+        with pytest.raises(ConfigError):
+            prof.mincache_for_hit_ratio(0.99)
+        with pytest.raises(ConfigError):
+            prof.mincache_for_hit_ratio(1.5)
+
+    def test_writes_only_profile(self):
+        rec = empty_records(4)
+        rec[0] = (0.0, 1, 1, True)
+        rec[1] = (1.0, 1, 1, False)
+        rec[2] = (2.0, 1, 1, False)
+        rec[3] = (3.0, 2, 1, True)
+        prof = reuse_profile(Trace(rec), writes_only=True)
+        assert prof.accesses == 2
+        assert prof.cold_misses == 1
+
+
+class TestWorkingSet:
+    def test_wss_counts_distinct_pages_per_window(self):
+        tr = trace_from_pages([1, 1, 2, 3, 3, 3])
+        wss = working_set_sizes(tr, window=2.0)  # times 0..5
+        assert wss.tolist() == [1, 2, 1]
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigError):
+            working_set_sizes(trace_from_pages([1]), window=0)
+
+
+class TestWriteHitPotential:
+    def test_all_rewrites_hit_big_cache(self):
+        tr = trace_from_pages([5, 5, 5], is_read=False)
+        assert write_hit_potential(tr, cache_pages=10) == pytest.approx(2 / 3)
+
+    def test_tiny_cache_kills_potential(self):
+        tr = zipf_workload(2000, 1000, alpha=0.2, read_ratio=0.0, seed=3)
+        assert write_hit_potential(tr, 2) < write_hit_potential(tr, 800)
+
+    def test_reads_populate_cache_for_writes(self):
+        rec = empty_records(2)
+        rec[0] = (0.0, 9, 1, True)   # read fills
+        rec[1] = (1.0, 9, 1, False)  # write hits
+        assert write_hit_potential(Trace(rec), 10) == 1.0
+
+    def test_predicts_kdd_advantage(self):
+        """Workloads with higher write-hit potential benefit more from KDD."""
+        from repro.harness import simulate_policy
+
+        hot = zipf_workload(6000, 600, alpha=1.2, read_ratio=0.2, seed=4,
+                            name="hot")
+        cold = uniform_workload(6000, 6000, read_ratio=0.2, seed=4,
+                                name="cold")
+        assert write_hit_potential(hot, 300) > write_hit_potential(cold, 300)
+        wt_hot = simulate_policy("wt", hot, 300, seed=1).ssd_write_pages
+        kdd_hot = simulate_policy("kdd", hot, 300, seed=1).ssd_write_pages
+        wt_cold = simulate_policy("wt", cold, 300, seed=1).ssd_write_pages
+        kdd_cold = simulate_policy("kdd", cold, 300, seed=1).ssd_write_pages
+        assert (1 - kdd_hot / wt_hot) > (1 - kdd_cold / wt_cold)

@@ -1,0 +1,103 @@
+"""Tests for the SPC and MSR trace file parsers."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import concat_spc, parse_msr, parse_spc, write_spc
+from repro.traces.spc import ASU_REGION_PAGES
+
+
+def test_parse_spc_basic():
+    text = "0,0,4096,r,0.000\n0,8,8192,w,0.500\n"
+    tr = parse_spc(io.StringIO(text), name="x")
+    assert len(tr) == 2
+    assert tr[0].is_read and tr[0].lba == 0 and tr[0].npages == 1
+    # sector 8 = byte 4096 -> page 1; 8192 bytes -> 2 pages
+    assert tr[1].is_write and tr[1].lba == 1 and tr[1].npages == 2
+
+
+def test_parse_spc_linearises_asus():
+    text = "0,0,4096,r,0.0\n1,0,4096,r,0.1\n"
+    tr = parse_spc(io.StringIO(text))
+    assert tr[1].lba == ASU_REGION_PAGES
+
+
+def test_parse_spc_unaligned_spans_pages():
+    # sector 7 = byte 3584; 4096 bytes end at 7679 -> pages 0..1
+    tr = parse_spc(io.StringIO("0,7,4096,r,0.0\n"))
+    assert tr[0].lba == 0 and tr[0].npages == 2
+
+
+def test_parse_spc_skips_comments_blank_and_zero_size():
+    text = "# header\n\n0,0,0,r,0.0\n0,0,4096,w,0.0\n"
+    tr = parse_spc(io.StringIO(text))
+    assert len(tr) == 1 and tr[0].is_write
+
+
+def test_parse_spc_rejects_bad_opcode_and_fields():
+    with pytest.raises(TraceFormatError):
+        parse_spc(io.StringIO("0,0,4096,x,0.0\n"))
+    with pytest.raises(TraceFormatError):
+        parse_spc(io.StringIO("0,0,4096\n"))
+    with pytest.raises(TraceFormatError):
+        parse_spc(io.StringIO("a,b,c,d,e\n"))
+
+
+def test_spc_roundtrip(tmp_path):
+    text = "0,0,4096,r,0.000000\n0,16,4096,w,1.500000\n"
+    tr = parse_spc(io.StringIO(text))
+    out = tmp_path / "t.spc"
+    write_spc(tr, out)
+    tr2 = parse_spc(out)
+    assert len(tr2) == 2
+    assert [(r.lba, r.npages, r.is_read) for r in tr] == [
+        (r.lba, r.npages, r.is_read) for r in tr2
+    ]
+
+
+def test_concat_spc_sorts_by_time():
+    a = parse_spc(io.StringIO("0,0,4096,r,5.0\n"), name="a")
+    b = parse_spc(io.StringIO("0,8,4096,w,1.0\n"), name="b")
+    merged = concat_spc([a, b])
+    assert merged[0].is_write and merged[1].is_read
+
+
+def test_concat_spc_empty_rejected():
+    with pytest.raises(TraceFormatError):
+        concat_spc([])
+
+
+def test_parse_msr_basic():
+    # 100ns ticks; second record 1 ms later; offsets in bytes
+    text = (
+        "128166372003061629,hm,0,Read,0,4096,100\n"
+        "128166372003071629,hm,0,Write,8192,4096,100\n"
+    )
+    tr = parse_msr(io.StringIO(text), name="hm0")
+    assert len(tr) == 2
+    assert tr[0].time == pytest.approx(0.0)
+    assert tr[1].time == pytest.approx(1e-3)
+    assert tr[0].lba == 0 and tr[1].lba == 2
+    assert tr[0].is_read and tr[1].is_write
+
+
+def test_parse_msr_filters_disk_number():
+    text = (
+        "128166372003061629,hm,0,Read,0,4096,100\n"
+        "128166372003061629,hm,1,Read,4096,4096,100\n"
+    )
+    tr = parse_msr(io.StringIO(text), disk_number=0)
+    assert len(tr) == 1
+
+
+def test_parse_msr_rejects_bad_type():
+    with pytest.raises(TraceFormatError):
+        parse_msr(io.StringIO("1,hm,0,Flush,0,4096,1\n"))
+
+
+def test_parse_msr_unaligned_size_spans_pages():
+    text = "128166372003061629,hm,0,Read,4000,4096,100\n"
+    tr = parse_msr(io.StringIO(text))
+    assert tr[0].lba == 0 and tr[0].npages == 2

@@ -1,0 +1,142 @@
+"""Tests for synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces import (
+    FootprintSpec,
+    footprint_workload,
+    sequential_workload,
+    uniform_workload,
+    zipf_ranks,
+    zipf_workload,
+)
+
+
+def test_uniform_workload_shape():
+    tr = uniform_workload(1000, universe_pages=500, read_ratio=0.5, seed=1)
+    assert len(tr) == 1000
+    assert tr.max_page <= 500
+    s = tr.stats()
+    assert 0.4 < s.read_ratio < 0.6
+
+
+def test_sequential_workload_is_sequential():
+    tr = sequential_workload(10, npages_per_request=8, seed=1)
+    lbas = [r.lba for r in tr]
+    assert lbas == list(range(0, 80, 8))
+
+
+def test_zipf_ranks_skew():
+    rng = np.random.default_rng(0)
+    ranks = zipf_ranks(rng, 50_000, 1000, alpha=1.2)
+    # rank 0 must be far more popular than the median rank
+    counts = np.bincount(ranks, minlength=1000)
+    assert counts[0] > 10 * counts[500]
+
+
+def test_zipf_alpha_zero_is_uniform():
+    rng = np.random.default_rng(0)
+    ranks = zipf_ranks(rng, 50_000, 100, alpha=0.0)
+    counts = np.bincount(ranks, minlength=100)
+    assert counts.min() > 300  # roughly even
+
+def test_zipf_ranks_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigError):
+        zipf_ranks(rng, 10, 0, 1.0)
+    with pytest.raises(ConfigError):
+        zipf_ranks(rng, 10, 10, -1.0)
+
+
+def test_zipf_workload_read_ratio():
+    tr = zipf_workload(20_000, 1000, read_ratio=0.75, seed=3)
+    assert abs(tr.stats().read_ratio - 0.75) < 0.02
+
+
+def test_zipf_workload_scatters_hot_pages():
+    a = zipf_workload(5000, 1000, seed=1)
+    b = zipf_workload(5000, 1000, seed=2)
+    hot_a = np.bincount(a.records["lba"].astype(int), minlength=1000).argmax()
+    hot_b = np.bincount(b.records["lba"].astype(int), minlength=1000).argmax()
+    assert hot_a != hot_b  # hottest page position depends on the seed
+
+
+def test_footprint_spec_scaled():
+    spec = FootprintSpec(
+        name="x",
+        read_only_pages=100,
+        write_only_pages=200,
+        shared_pages=50,
+        read_requests=1000,
+        write_requests=2000,
+    )
+    half = spec.scaled(0.5)
+    assert half.read_only_pages == 50
+    assert half.write_requests == 1000
+    with pytest.raises(ConfigError):
+        spec.scaled(0)
+
+
+def test_footprint_spec_rejects_uncoverable():
+    with pytest.raises(ConfigError):
+        FootprintSpec(
+            name="bad",
+            read_only_pages=100,
+            write_only_pages=0,
+            shared_pages=0,
+            read_requests=50,  # cannot touch 100 unique pages in 50 requests
+            write_requests=0,
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_footprint_workload_matches_spec_exactly(seed):
+    spec = FootprintSpec(
+        name="cal",
+        read_only_pages=300,
+        write_only_pages=500,
+        shared_pages=200,
+        read_requests=4000,
+        write_requests=6000,
+        read_alpha=0.9,
+        write_alpha=1.1,
+    )
+    s = footprint_workload(spec, seed=seed).stats()
+    assert s.unique_read_pages == spec.unique_read_pages
+    assert s.unique_write_pages == spec.unique_write_pages
+    assert s.unique_pages == spec.unique_pages
+    assert s.read_requests == spec.read_requests
+    assert s.write_requests == spec.write_requests
+
+
+def test_footprint_workload_deterministic():
+    spec = FootprintSpec(
+        name="d",
+        read_only_pages=10,
+        write_only_pages=10,
+        shared_pages=5,
+        read_requests=100,
+        write_requests=100,
+    )
+    a = footprint_workload(spec, seed=42)
+    b = footprint_workload(spec, seed=42)
+    assert np.array_equal(a.records, b.records)
+
+
+def test_footprint_workload_has_spatial_runs():
+    spec = FootprintSpec(
+        name="runs",
+        read_only_pages=0,
+        write_only_pages=1600,
+        shared_pages=0,
+        read_requests=0,
+        write_requests=1600,
+        run_length=16,
+    )
+    tr = footprint_workload(spec, seed=0)
+    pages = np.sort(np.unique(tr.records["lba"].astype(np.int64)))
+    gaps = np.diff(pages)
+    # clustered layout => most unique pages are adjacent to another one
+    assert (gaps == 1).mean() > 0.8

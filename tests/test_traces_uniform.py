@@ -1,0 +1,73 @@
+"""Tests for the uniform binary trace format (Section IV-A1)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import (
+    load_trace,
+    parse_spc,
+    save_trace,
+    uniform_workload,
+    write_spc,
+)
+from repro.traces.uniform import FORMAT_VERSION, convert
+
+
+def test_roundtrip(tmp_path):
+    tr = uniform_workload(500, 1000, read_ratio=0.4, seed=3, name="u")
+    path = save_trace(tr, tmp_path / "u.trace.npz")
+    loaded = load_trace(path)
+    assert loaded.name == "u"
+    assert loaded.page_size == tr.page_size
+    assert np.array_equal(loaded.records, tr.records)
+
+
+def test_stats_survive_roundtrip(tmp_path):
+    tr = uniform_workload(300, 400, read_ratio=0.7, seed=4)
+    path = save_trace(tr, tmp_path / "t")
+    assert load_trace(path).stats() == tr.stats()
+
+
+def test_load_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"not a zip archive")
+    with pytest.raises(TraceFormatError):
+        load_trace(bad)
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    tr = uniform_workload(10, 10, seed=1)
+    path = save_trace(tr, tmp_path / "v.npz")
+    # rewrite with a bogus version
+    import json
+
+    with np.load(path) as data:
+        records = data["records"]
+    np.savez(path, records=records,
+             meta=np.frombuffer(json.dumps({"version": 99}).encode(), np.uint8))
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_convert_spc(tmp_path):
+    tr = uniform_workload(50, 100, seed=2, name="conv")
+    spc = tmp_path / "conv.spc"
+    write_spc(tr, spc)
+    out = convert(spc)
+    loaded = load_trace(out)
+    assert len(loaded) == 50
+    assert loaded.name == "conv"
+
+
+def test_convert_rejects_unknown_suffix(tmp_path):
+    f = tmp_path / "x.bin"
+    f.write_bytes(b"")
+    with pytest.raises(TraceFormatError):
+        convert(f)
+
+
+def test_version_constant():
+    assert FORMAT_VERSION == 1

@@ -1,0 +1,76 @@
+"""Tests for the calibrated Table I workload stand-ins."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces import (
+    ALL_WORKLOADS,
+    READ_DOMINANT,
+    TABLE1_SPECS,
+    WRITE_DOMINANT,
+    make_workload,
+    workload_spec,
+)
+
+#: Table I, as printed in the paper (thousands).
+TABLE1 = {
+    "Fin1": dict(total=993, read=331, write=966, rreq=1339, wreq=5628, ratio=0.19),
+    "Fin2": dict(total=405, read=271, write=212, rreq=3562, wreq=917, ratio=0.80),
+    "Hm0": dict(total=609, read=488, write=428, rreq=2880, wreq=5992, ratio=0.33),
+    "Web0": dict(total=1913, read=1884, write=182, rreq=4575, wreq=3186, ratio=0.59),
+}
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_specs_match_table1(name):
+    spec = TABLE1_SPECS[name]
+    t = TABLE1[name]
+    assert spec.unique_pages == t["total"] * 1000
+    assert spec.unique_read_pages == t["read"] * 1000
+    assert spec.unique_write_pages == t["write"] * 1000
+    assert spec.read_requests == t["rreq"] * 1000
+    assert spec.write_requests == t["wreq"] * 1000
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_read_ratio_matches_table1(name):
+    spec = TABLE1_SPECS[name]
+    ratio = spec.read_requests / (spec.read_requests + spec.write_requests)
+    assert ratio == pytest.approx(TABLE1[name]["ratio"], abs=0.01)
+
+
+def test_dominance_groups():
+    assert set(WRITE_DOMINANT) == {"Fin1", "Hm0"}
+    assert set(READ_DOMINANT) == {"Fin2", "Web0"}
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigError):
+        workload_spec("NotATrace")
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_scaled_generation_preserves_shape(name):
+    tr = make_workload(name, scale=0.002)
+    s = tr.stats()
+    spec = workload_spec(name, scale=0.002)
+    assert s.unique_pages == spec.unique_pages
+    assert s.read_requests == spec.read_requests
+    assert s.read_ratio == pytest.approx(TABLE1[name]["ratio"], abs=0.02)
+
+
+def test_web0_write_locality_exceeds_read_locality():
+    """The property the paper uses to explain Fig. 7 (Web0, small caches)."""
+    spec = TABLE1_SPECS["Web0"]
+    accesses_per_read_page = spec.read_requests / spec.unique_read_pages
+    accesses_per_write_page = spec.write_requests / spec.unique_write_pages
+    assert accesses_per_write_page > 4 * accesses_per_read_page
+    assert spec.write_alpha > spec.read_alpha
+
+
+def test_make_workload_deterministic_per_name():
+    import numpy as np
+
+    a = make_workload("Fin2", scale=0.001)
+    b = make_workload("Fin2", scale=0.001)
+    assert np.array_equal(a.records, b.records)

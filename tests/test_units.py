@@ -1,0 +1,46 @@
+"""Tests for size/time unit helpers."""
+
+import pytest
+
+from repro.units import (
+    DEFAULT_PAGE_SIZE,
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    pages_for_bytes,
+)
+
+
+def test_constants_are_powers_of_1024():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert DEFAULT_PAGE_SIZE == 4 * KiB
+
+
+def test_pages_for_bytes_exact():
+    assert pages_for_bytes(0) == 0
+    assert pages_for_bytes(4096) == 1
+    assert pages_for_bytes(8192) == 2
+
+
+def test_pages_for_bytes_rounds_up():
+    assert pages_for_bytes(1) == 1
+    assert pages_for_bytes(4097) == 2
+
+
+def test_pages_for_bytes_custom_page_size():
+    assert pages_for_bytes(1024, page_size=512) == 2
+
+
+def test_pages_for_bytes_rejects_negative():
+    with pytest.raises(ValueError):
+        pages_for_bytes(-1)
+
+
+def test_format_bytes_scales_units():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(1536) == "1.5 KiB"
+    assert format_bytes(3 * MiB) == "3.0 MiB"
+    assert format_bytes(2 * GiB) == "2.0 GiB"

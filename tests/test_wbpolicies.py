@@ -1,0 +1,130 @@
+"""Tests for the consistent write-back variants (ordered / journaled)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, JournaledWriteBack, OrderedWriteBack
+from repro.errors import ConfigError
+from repro.nvram import PageState
+from repro.raid import RAIDArray, RaidLevel
+
+
+def make_raid():
+    return RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=1 << 14)
+
+
+def cfg(cache_pages=256, **kw):
+    kw.setdefault("ways", 16)
+    return CacheConfig(cache_pages=cache_pages, **kw)
+
+
+class TestOrderedWriteBack:
+    def test_staleness_bounded(self):
+        p = OrderedWriteBack(cfg(), make_raid(), max_dirty_writes=8)
+        for lba in range(30):
+            p.write(lba)
+        assert p.staleness <= 8
+        assert p.ordered_flushes >= 22
+        p.check_invariants()
+
+    def test_flushes_in_write_order(self):
+        raid = make_raid()
+        p = OrderedWriteBack(cfg(), raid, max_dirty_writes=2)
+        for lba in (10, 20, 30):
+            p.write(lba)
+        # lba 10 (oldest) must have been flushed first
+        line10 = p.sets.lookup(10)
+        assert line10.state is PageState.CLEAN
+        assert p.sets.lookup(30).state is PageState.DIRTY
+
+    def test_rewrite_moves_to_tail(self):
+        p = OrderedWriteBack(cfg(), make_raid(), max_dirty_writes=2)
+        p.write(1)
+        p.write(2)
+        p.write(1)  # 1 becomes youngest
+        p.write(3)  # bound exceeded: 2 (now oldest) flushes, not 1
+        assert p.sets.lookup(2).state is PageState.CLEAN
+        assert p.sets.lookup(1).state is PageState.DIRTY
+
+    def test_finish_drains_everything(self):
+        raid = make_raid()
+        p = OrderedWriteBack(cfg(), raid, max_dirty_writes=100)
+        for lba in range(10):
+            p.write(lba)
+        p.finish()
+        assert p.staleness == 0
+        assert p.dirty_pages == 0
+        assert raid.counters.data_writes >= 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OrderedWriteBack(cfg(), make_raid(), max_dirty_writes=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 40)),
+                        max_size=150))
+    def test_property_bound_never_violated(self, ops):
+        p = OrderedWriteBack(cfg(cache_pages=32, ways=8), make_raid(),
+                             max_dirty_writes=5)
+        for is_read, lba in ops:
+            p.access(lba, is_read)
+            assert p.staleness <= 5
+        p.check_invariants()
+
+
+class TestJournaledWriteBack:
+    def test_epoch_commits_in_batches(self):
+        p = JournaledWriteBack(cfg(), make_raid(), epoch_writes=4)
+        for lba in range(4):
+            p.write(lba)
+        assert p.epochs_committed == 1
+        assert p.dirty_pages == 0
+
+    def test_epoch_coalesces_rewrites(self):
+        raid = make_raid()
+        p = JournaledWriteBack(cfg(), raid, epoch_writes=4)
+        for _ in range(4):
+            p.write(7)  # same page four times
+        assert p.epochs_committed == 1
+        assert raid.counters.data_writes == 1  # one flush for four writes
+
+    def test_finish_commits_partial_epoch(self):
+        raid = make_raid()
+        p = JournaledWriteBack(cfg(), raid, epoch_writes=100)
+        p.write(1)
+        p.finish()
+        assert p.dirty_pages == 0
+        assert raid.counters.data_writes >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            JournaledWriteBack(cfg(), make_raid(), epoch_writes=0)
+
+
+class TestStalenessSpectrum:
+    def test_tighter_bound_more_raid_traffic(self):
+        """The FAST'13 trade-off: smaller RPO costs more flush I/O."""
+        from repro.traces import zipf_workload
+
+        trace = zipf_workload(5000, 600, alpha=1.0, read_ratio=0.2, seed=4)
+
+        def raid_writes(bound):
+            raid = make_raid()
+            p = OrderedWriteBack(cfg(), raid, max_dirty_writes=bound)
+            p.process_trace(trace)
+            return raid.counters.data_writes
+
+        assert raid_writes(4) > raid_writes(400)
+
+    def test_kdd_matches_rpo_zero_with_less_raid_cost_than_wt(self):
+        """KDD's position on the spectrum: RPO=0 like WT, write-back-like
+        member traffic on hits."""
+        from repro.harness import simulate_policy
+        from repro.traces import zipf_workload
+
+        trace = zipf_workload(5000, 600, alpha=1.0, read_ratio=0.2, seed=4)
+        wt = simulate_policy("wt", trace, 256, seed=1)
+        kdd = simulate_policy("kdd", trace, 256, seed=1)
+        assert kdd.raid.total < wt.raid.total

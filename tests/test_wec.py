@@ -1,0 +1,118 @@
+"""Tests for WEC (write-efficient caching retention)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, WecWriteThrough
+from repro.errors import ConfigError
+from repro.raid import RAIDArray, RaidLevel
+from repro.traces import zipf_workload
+
+
+def make_wec(cache_pages=16, ways=None, protect_threshold=2,
+             max_protected_fraction=0.5, **kw):
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=1 << 14)
+    cfg = CacheConfig(cache_pages=cache_pages, ways=ways or cache_pages,
+                      group_pages=1, **kw)
+    return WecWriteThrough(cfg, raid, protect_threshold=protect_threshold,
+                           max_protected_fraction=max_protected_fraction)
+
+
+class TestProtection:
+    def test_write_hits_build_score_to_protection(self):
+        p = make_wec(protect_threshold=2)
+        p.write(5)          # miss: allocates
+        p.write(5)          # hit: score 1
+        assert not p.is_protected(5)
+        p.write(5)          # hit: score 2 -> protected
+        assert p.is_protected(5)
+        assert p.protections == 1
+
+    def test_protected_lines_survive_eviction_pressure(self):
+        p = make_wec(cache_pages=4, protect_threshold=1)
+        p.write(1)
+        p.write(1)  # write-efficient: protected
+        for lba in range(10, 14):  # fills + evicts
+            p.read(lba * 64)
+        assert 1 in p.sets  # the write-efficient page stayed
+        p.check_invariants()
+
+    def test_unprotected_evicted_first(self):
+        p = make_wec(cache_pages=3, protect_threshold=1)
+        p.write(1)
+        p.write(1)   # protected
+        p.read(2 * 64)
+        p.read(3 * 64)
+        p.read(4 * 64)  # evicts 2 or 3, never 1
+        assert 1 in p.sets
+
+    def test_decay_when_everything_protected(self):
+        p = make_wec(cache_pages=2, protect_threshold=1,
+                     max_protected_fraction=1.0)
+        for lba in (1, 2):
+            p.write(lba)
+            p.write(lba)
+        assert p.protected_pages == 2
+        p.read(9 * 64)  # must still find room: pins decay
+        assert len(p.sets) <= 2
+        assert p.decays > 0
+        p.check_invariants()
+
+    def test_protected_fraction_capped(self):
+        p = make_wec(cache_pages=8, protect_threshold=1)
+        for lba in range(8):
+            p.write(lba)
+            p.write(lba)
+        assert p.protected_pages <= 4  # max 50% by default
+
+    def test_validation(self):
+        raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                         pages_per_disk=1 << 10)
+        with pytest.raises(ConfigError):
+            WecWriteThrough(CacheConfig(cache_pages=8), raid,
+                            protect_threshold=0)
+        with pytest.raises(ConfigError):
+            WecWriteThrough(CacheConfig(cache_pages=8), raid,
+                            max_protected_fraction=0.0)
+
+
+class TestEffectiveness:
+    def test_wec_keeps_write_hot_pages_longer(self):
+        """On a stream mixing a write-hot set with a read scan, WEC
+        serves more write hits than plain WT."""
+        from repro.harness import simulate_policy
+        import numpy as np
+        from repro.traces import Trace
+        from repro.traces.record import empty_records
+
+        rng = np.random.default_rng(3)
+        n = 6000
+        rec = empty_records(n)
+        scan = 0
+        for i in range(n):
+            if rng.random() < 0.4:
+                # write-hot set of 40 pages
+                rec[i] = (float(i), int(rng.integers(0, 40)), 1, False)
+            else:
+                scan += 1
+                rec[i] = (float(i), 1000 + scan, 1, True)  # one-touch scan
+        trace = Trace(rec, name="scan+hot")
+
+        wt = simulate_policy("wt", trace, cache_pages=64, seed=1)
+        wec = simulate_policy("wec-wt", trace, cache_pages=64, seed=1)
+        assert wec.stats.write_hits >= wt.stats.write_hits
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 30)),
+                    max_size=150))
+def test_property_wec_invariants(ops):
+    p = make_wec(cache_pages=8, protect_threshold=2)
+    for is_read, lba in ops:
+        p.access(lba, is_read)
+    p.check_invariants()
+    # protected set only references cached pages
+    for lba in list(p._protected):
+        assert lba in p.sets
