@@ -6,9 +6,10 @@ metadata write overhead of the two protocols on the same access stream.
 """
 
 import pytest
-from conftest import BENCH_SCALE
+from conftest import BENCH_JOBS, BENCH_SCALE
 
 from repro.harness.runner import simulate_policy
+from repro.harness.sweep import run_sweep, sim_cell, workload_trace
 from repro.traces import make_workload
 
 
@@ -19,21 +20,22 @@ def trace():
 
 def test_metadata_overhead_kdd_vs_leavo(trace, benchmark):
     cache = int(trace.stats().unique_pages * 0.10)
+    desc = workload_trace("Hm0", BENCH_SCALE)
+    cells = [sim_cell("kdd", desc, cache, seed=1),
+             sim_cell("leavo", desc, cache, seed=1)]
 
-    def run_both():
-        kdd = simulate_policy("kdd", trace, cache, seed=1)
-        leavo = simulate_policy("leavo", trace, cache, seed=1)
-        return kdd, leavo
-
-    kdd, leavo = benchmark.pedantic(run_both, rounds=1, iterations=1,
-                                    warmup_rounds=0)
-    benchmark.extra_info["kdd_meta_writes"] = kdd.stats.meta_writes
-    benchmark.extra_info["leavo_meta_writes"] = leavo.stats.meta_writes
-    benchmark.extra_info["kdd_meta_pct"] = round(100 * kdd.meta_fraction, 2)
+    result = benchmark.pedantic(
+        lambda: run_sweep(cells, jobs=BENCH_JOBS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    kdd, leavo = result.rows
+    benchmark.extra_info["kdd_meta_writes"] = kdd["meta_writes"]
+    benchmark.extra_info["leavo_meta_writes"] = leavo["meta_writes"]
+    benchmark.extra_info["kdd_meta_pct"] = round(100 * kdd["meta_fraction"], 2)
     # KDD's log batches ~341 entries per page; LeavO persists every update.
-    assert kdd.stats.meta_writes < leavo.stats.meta_writes / 5
+    assert kdd["meta_writes"] < leavo["meta_writes"] / 5
     # Figure 4's bound: metadata stays a small fraction of cache writes.
-    assert kdd.meta_fraction < 0.05
+    assert kdd["meta_fraction"] < 0.05
 
 
 @pytest.mark.parametrize("frac", [0.0039, 0.0098])

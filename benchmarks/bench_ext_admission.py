@@ -2,52 +2,53 @@
 
 The paper notes selective-admission schemes "can be deployed in KDD to
 further reduce the amount of writes to SSD".  This bench quantifies the
-combination on a fill-heavy workload.
+combination on a fill-heavy workload, submitting each (policy x
+admission) grid through the sweep engine.
 """
 
 import pytest
 
-from repro.harness.runner import simulate_policy
-from repro.traces import zipf_workload
+from conftest import BENCH_JOBS
 
+from repro.harness.sweep import run_sweep, sim_cell, trace_desc
 
-@pytest.fixture(scope="module")
-def trace():
-    # low-skew, read-heavy: lots of one-hit wonders for LARC to filter
-    return zipf_workload(40_000, 20_000, alpha=0.7, read_ratio=0.7, seed=8,
-                         name="scan-heavy")
+# low-skew, read-heavy: lots of one-hit wonders for LARC to filter
+TRACE = trace_desc("zipf", n_requests=40_000, universe_pages=20_000,
+                   alpha=0.7, read_ratio=0.7, seed=8, name="scan-heavy")
 
 
 @pytest.mark.parametrize("policy", ["wt", "kdd"])
-def test_larc_reduces_ssd_writes(trace, policy, benchmark):
-    def run_both():
-        plain = simulate_policy(policy, trace, cache_pages=1024, seed=1)
-        larc = simulate_policy(policy, trace, cache_pages=1024, seed=1,
-                               admission="larc")
-        return plain, larc
-
-    plain, larc = benchmark.pedantic(run_both, rounds=1, iterations=1,
-                                     warmup_rounds=0)
-    benchmark.extra_info["plain_ssd_writes"] = plain.ssd_write_pages
-    benchmark.extra_info["larc_ssd_writes"] = larc.ssd_write_pages
-    benchmark.extra_info["plain_hit"] = round(plain.hit_ratio, 4)
-    benchmark.extra_info["larc_hit"] = round(larc.hit_ratio, 4)
+def test_larc_reduces_ssd_writes(policy, benchmark):
+    cells = [
+        sim_cell(policy, TRACE, cache_pages=1024, seed=1),
+        sim_cell(policy, TRACE, cache_pages=1024, seed=1, admission="larc"),
+    ]
+    result = benchmark.pedantic(
+        lambda: run_sweep(cells, jobs=BENCH_JOBS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    plain, larc = result.rows
+    benchmark.extra_info["plain_ssd_writes"] = plain["ssd_write_pages"]
+    benchmark.extra_info["larc_ssd_writes"] = larc["ssd_write_pages"]
+    benchmark.extra_info["plain_hit"] = round(plain["hit_ratio"], 4)
+    benchmark.extra_info["larc_hit"] = round(larc["hit_ratio"], 4)
     # LARC cuts allocation writes substantially on scan-heavy streams
-    assert larc.ssd_write_pages < 0.8 * plain.ssd_write_pages
+    assert larc["ssd_write_pages"] < 0.8 * plain["ssd_write_pages"]
     # without giving up much hit ratio
-    assert larc.hit_ratio > plain.hit_ratio - 0.10
+    assert larc["hit_ratio"] > plain["hit_ratio"] - 0.10
 
 
-def test_larc_plus_kdd_compounds(trace, benchmark):
-    def run():
-        wt = simulate_policy("wt", trace, cache_pages=1024, seed=1)
-        combo = simulate_policy("kdd", trace, cache_pages=1024, seed=1,
-                                admission="larc")
-        return wt, combo
-
-    wt, combo = benchmark.pedantic(run, rounds=1, iterations=1,
-                                   warmup_rounds=0)
-    benchmark.extra_info["wt_ssd_writes"] = wt.ssd_write_pages
-    benchmark.extra_info["kdd_larc_ssd_writes"] = combo.ssd_write_pages
+def test_larc_plus_kdd_compounds(benchmark):
+    cells = [
+        sim_cell("wt", TRACE, cache_pages=1024, seed=1),
+        sim_cell("kdd", TRACE, cache_pages=1024, seed=1, admission="larc"),
+    ]
+    result = benchmark.pedantic(
+        lambda: run_sweep(cells, jobs=BENCH_JOBS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    wt, combo = result.rows
+    benchmark.extra_info["wt_ssd_writes"] = wt["ssd_write_pages"]
+    benchmark.extra_info["kdd_larc_ssd_writes"] = combo["ssd_write_pages"]
     # the combination beats either technique alone vs the WT baseline
-    assert combo.ssd_write_pages < 0.6 * wt.ssd_write_pages
+    assert combo["ssd_write_pages"] < 0.6 * wt["ssd_write_pages"]

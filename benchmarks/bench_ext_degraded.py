@@ -12,7 +12,6 @@ resync traffic sharing the disks.
 import heapq
 
 import numpy as np
-import pytest
 
 from repro.cache import CacheConfig
 from repro.harness import build_policy

@@ -6,7 +6,6 @@ on skew: the tier thrashes when the hot set outgrows the mirror, while
 KDD degrades only to normal write-miss behaviour.
 """
 
-import pytest
 
 from repro.cache import CacheConfig
 from repro.core import KDD

@@ -5,27 +5,50 @@ corresponding experiment driver once per round at a reduced scale
 (shapes are scale-invariant; see DESIGN.md) and attach the regenerated
 rows to the benchmark's ``extra_info`` so ``--benchmark-only`` output
 doubles as the reproduction record.
+
+Grids are submitted through the sweep engine
+(:mod:`repro.harness.sweep`); set ``BENCH_JOBS=N`` to fan cells out to
+``N`` worker processes — rows are identical for any job count, so the
+shape assertions are unaffected.
 """
 
 from __future__ import annotations
 
+import inspect
+import os
+
 import pytest
+
+from repro.harness.sweep import SweepEngine
 
 #: Scale used by trace-driven benches; small enough for quick rounds,
 #: large enough that cache-size sweeps stay meaningful.
 BENCH_SCALE = 0.004
 
+#: Worker processes for sweep grids (results are job-count invariant).
+BENCH_JOBS = int(os.environ.get("BENCH_JOBS", "1"))
+
 
 @pytest.fixture
-def run_figure(benchmark):
+def engine():
+    """A sweep engine configured from the BENCH_JOBS environment knob."""
+    return SweepEngine(jobs=BENCH_JOBS)
+
+
+@pytest.fixture
+def run_figure(benchmark, engine):
     """Run a figure driver exactly once under the benchmark clock."""
 
     def _run(fn, **kwargs):
+        if "engine" in inspect.signature(fn).parameters:
+            kwargs.setdefault("engine", engine)
         result = benchmark.pedantic(
             lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
         )
         benchmark.extra_info["figure"] = result.figure_id
         benchmark.extra_info["rows"] = len(result.rows)
+        if result.timing:
+            benchmark.extra_info["sweep"] = result.timing
         return result
 
     return _run

@@ -30,6 +30,7 @@ from .errors import (
     RaidError,
     RecoveryError,
     ReproError,
+    SimulationError,
     TraceFormatError,
     WornOutError,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "RaidError",
     "RecoveryError",
     "ReproError",
+    "SimulationError",
     "TraceFormatError",
     "WornOutError",
     "Trace",

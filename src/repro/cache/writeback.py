@@ -10,8 +10,7 @@ RPO = 0.
 from __future__ import annotations
 
 from ..nvram.metabuffer import PageState
-from ..raid.array import RAIDArray
-from .base import CacheConfig, Outcome
+from .base import Outcome
 from .common import SetAssocPolicy
 from .sets import CacheLine
 

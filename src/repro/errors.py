@@ -13,7 +13,16 @@ class ReproError(Exception):
 
 
 class ConfigError(ReproError):
-    """A configuration object is inconsistent or out of range."""
+    """A configuration object is inconsistent or out of range.
+
+    Raised at *configuration time* (building policies, traces, sweeps);
+    faults detected while a simulation is running raise
+    :class:`SimulationError` instead.
+    """
+
+
+class SimulationError(ReproError):
+    """A running simulation produced an impossible value or state."""
 
 
 class TraceFormatError(ReproError):

@@ -7,7 +7,18 @@ from .runner import (
     make_raid_for_trace,
     simulate_policy,
 )
-from .report import FigureResult, render_table
+from .report import FigureResult, render_sweep_stats, render_table
+from .sweep import (
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    SweepResult,
+    SweepStats,
+    run_sweep,
+    sim_cell,
+    trace_desc,
+    workload_trace,
+)
 from .figures import ALL_FIGURES
 
 __all__ = [
@@ -17,6 +28,16 @@ __all__ = [
     "make_raid_for_trace",
     "simulate_policy",
     "FigureResult",
+    "render_sweep_stats",
     "render_table",
+    "ResultCache",
+    "SweepCell",
+    "SweepEngine",
+    "SweepResult",
+    "SweepStats",
+    "run_sweep",
+    "sim_cell",
+    "trace_desc",
+    "workload_trace",
     "ALL_FIGURES",
 ]

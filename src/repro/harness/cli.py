@@ -4,17 +4,19 @@ Examples::
 
     kdd-repro list
     kdd-repro run fig6 --scale 0.01
-    kdd-repro run table1 fig4 --scale 0.02
-    kdd-repro run all
+    kdd-repro run all --jobs 4 --cache-dir .sweep-cache
+    kdd-repro run fig5 --jobs 4 --cache-dir .sweep-cache --force
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from .figures import ALL_FIGURES, DEFAULT_SCALE
+from .sweep import SweepEngine, SweepProgress
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,6 +36,31 @@ def main(argv: list[str] | None = None) -> int:
         help="workload scale factor for trace-driven figures (default %(default)s)",
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for the sweep engine; rows are identical "
+        "for any job count (default %(default)s)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_SWEEP_CACHE"),
+        help="directory for the on-disk sweep result cache; already-"
+        "computed cells are skipped on re-runs (default: $REPRO_SWEEP_CACHE, "
+        "else no cache)",
+    )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell even if cached (refreshes the cache)",
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished sweep cell",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="run one policy over one workload and print the row"
@@ -71,9 +98,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown figures: {unknown}; try 'kdd-repro list'", file=sys.stderr)
         return 2
 
+    engine = SweepEngine(
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        force=args.force,
+        progress=_print_progress if args.progress else None,
+    )
     for name in names:
         fn = ALL_FIGURES[name]
-        kwargs = {}
+        kwargs = {"engine": engine}
         # trace-driven figures accept scale/seed; timing figures accept seed
         import inspect
 
@@ -87,6 +120,17 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
         print(f"({name} finished in {time.time() - start:.1f}s)\n")
     return 0
+
+
+def _print_progress(tick: SweepProgress) -> None:
+    cell = tick.cell
+    what = cell.label or cell.policy or cell.kind
+    source = "cache" if tick.from_cache else f"{tick.seconds:.2f}s"
+    print(
+        f"  [{tick.done}/{tick.total}] {cell.kind}:{what} "
+        f"cache_pages={cell.cache_pages} ({source})",
+        file=sys.stderr,
+    )
 
 
 def _load_workload(name: str, scale: float):

@@ -26,6 +26,30 @@ def render_table(rows: Sequence[dict[str, Any]], headers: Sequence[str] | None =
     return "\n".join(lines)
 
 
+def render_sweep_stats(timing: dict[str, Any]) -> str:
+    """One-line summary of a sweep's timing instrumentation.
+
+    ``timing`` is a :meth:`repro.harness.sweep.SweepStats.row` dict:
+    cell counts (executed / cached / deduped), wall time, throughput and
+    worker utilisation.
+    """
+    cells = timing.get("cells", 0)
+    parts = [f"{cells} cell{'s' if cells != 1 else ''}"]
+    detail = []
+    if timing.get("cached"):
+        detail.append(f"{timing['cached']} cached")
+    if timing.get("deduped"):
+        detail.append(f"{timing['deduped']} deduped")
+    if detail:
+        parts[0] += f" ({timing.get('executed', 0)} run, {', '.join(detail)})"
+    parts.append(f"{timing.get('elapsed_s', 0.0):.2f}s")
+    parts.append(f"{timing.get('cells_per_sec', 0.0):.1f} cells/s")
+    jobs = timing.get("jobs", 1)
+    util = timing.get("worker_utilisation", 0.0)
+    parts.append(f"{jobs} job{'s' if jobs != 1 else ''} at {util:.0%} utilisation")
+    return "sweep: " + ", ".join(parts)
+
+
 @dataclass
 class FigureResult:
     """One regenerated table/figure: rows plus provenance."""
@@ -34,10 +58,15 @@ class FigureResult:
     title: str
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Sweep-engine instrumentation for the run that produced the rows
+    #: (a :meth:`repro.harness.sweep.SweepStats.row` dict), if any.
+    timing: dict[str, Any] | None = None
 
     def render(self) -> str:
         out = [f"=== {self.figure_id}: {self.title} ===", render_table(self.rows)]
         out += [f"note: {n}" for n in self.notes]
+        if self.timing:
+            out.append(render_sweep_stats(self.timing))
         return "\n".join(out)
 
     def series(self, x: str, y: str, key: str) -> dict[Any, list[tuple[Any, Any]]]:

@@ -7,6 +7,7 @@ stream the trace through it, and return a :class:`SimulationResult`.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, fields
 from typing import Any, Type
 
@@ -88,12 +89,19 @@ def make_raid_for_trace(
     chunk_pages: int = 16,
     store_data: bool = False,
 ) -> RAIDArray:
-    """A RAID array large enough to hold the trace's address space."""
+    """A RAID array large enough to hold the trace's address space.
+
+    An empty trace is valid input: ``Trace.max_page`` is 0 for it, and
+    the minimum-size floor below yields a small but fully functional
+    array (a few stripes), so policies can be exercised on degenerate
+    traces without special-casing.
+    """
     data_disks = max(1, ndisks - {RaidLevel.RAID5: 1, RaidLevel.RAID6: 2}.get(level, 0))
     if level is RaidLevel.RAID1:
         data_disks = 1
+    max_page = trace.max_page if len(trace) else 0
     pages_per_disk = max(
-        chunk_pages * 4, -(-(trace.max_page + 1) // data_disks) + chunk_pages
+        chunk_pages * 4, -(-(max_page + 1) // data_disks) + chunk_pages
     )
     # round up to whole stripes
     pages_per_disk = -(-pages_per_disk // chunk_pages) * chunk_pages
@@ -120,7 +128,38 @@ def build_policy(
         raise ConfigError(
             f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
         ) from None
+    if policy_kwargs:
+        _check_policy_kwargs(name, cls, policy_kwargs)
     return cls(config, raid, **policy_kwargs)
+
+
+def _check_policy_kwargs(
+    name: str, cls: Type[CachePolicy], policy_kwargs: dict[str, Any]
+) -> None:
+    """Reject unknown constructor kwargs with a ConfigError, not a TypeError.
+
+    Mirrors the ``config_kwargs`` validation in :func:`simulate_policy`:
+    a misspelt policy option is a configuration mistake and should name
+    the policy and the offending keyword instead of leaking the raw
+    ``TypeError`` from ``cls.__init__``.
+    """
+    try:
+        params = inspect.signature(cls.__init__).parameters
+    except (TypeError, ValueError):  # C-level or exotic __init__
+        return
+    if any(p.kind is p.VAR_KEYWORD for p in params.values()):
+        return
+    valid = {
+        n for n, p in params.items()
+        if n != "self" and p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+    }
+    bad = set(policy_kwargs) - valid
+    if bad:
+        options = sorted(valid - {"config", "raid"})
+        raise ConfigError(
+            f"policy {name!r} ({cls.__name__}) got unknown keyword(s) "
+            f"{sorted(bad)}; valid options: {options}"
+        )
 
 
 def simulate_policy(

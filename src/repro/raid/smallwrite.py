@@ -22,7 +22,7 @@ the same problem:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigError, DegradedError
 from .array import DiskOp, OpKind, RAIDArray

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from ..disk.hdd import HDD, HDDParams
 from ..errors import ConfigError
 from ..flash.device import SSDLatency
-from ..flash.geometry import FlashGeometry
 
 
 @dataclass

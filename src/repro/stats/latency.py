@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import SimulationError
 
 
 @dataclass
@@ -16,8 +16,10 @@ class LatencyRecorder:
     samples: list[float] = field(default_factory=list)
 
     def record(self, response_time: float) -> None:
+        # A negative response time is a simulator fault (completion before
+        # arrival), not a configuration mistake.
         if response_time < 0:
-            raise ConfigError(f"negative response time {response_time}")
+            raise SimulationError(f"negative response time {response_time}")
         self.samples.append(response_time)
 
     def __len__(self) -> int:

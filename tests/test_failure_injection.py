@@ -11,7 +11,6 @@ the full recovery contract each time:
 * disk loss at any point after parity repair -> all data reconstructs.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,10 +5,9 @@ invariants the harness depends on; the benchmark suite re-runs them at
 meaningful scales with the paper-shape assertions.
 """
 
-import pytest
-
 from repro.harness.figures import (
     ALL_FIGURES,
+    _cache_sizes,
     fig4,
     fig5,
     fig9,
@@ -17,6 +16,8 @@ from repro.harness.figures import (
     table1,
     table2,
 )
+from repro.harness.sweep import SweepEngine
+from repro.traces.workloads import ALL_WORKLOADS, workload_spec
 
 MICRO = 0.0008
 
@@ -66,6 +67,42 @@ def test_fig10_fig11_micro():
         assert row["ssd_write_pages"] == (
             row["fills"] + row["data"] + row["delta"] + row["meta"]
         )
+
+
+def test_cache_sizes_monotone_and_clamped():
+    """At tiny scales the 64-page floor must not yield duplicate or
+    larger-than-footprint sizes (the figure x-axes stay monotone)."""
+    for scale in (0.0001, 0.0005, 0.001, 0.004, 0.01):
+        for name in ALL_WORKLOADS:
+            sizes = _cache_sizes(name, scale)
+            assert sizes == sorted(sizes)
+            assert len(sizes) == len(set(sizes))
+            unique = workload_spec(name, scale).unique_pages
+            assert all(s <= max(64, unique) for s in sizes)
+            assert all(s <= unique for s in sizes if unique >= 64)
+
+
+def test_cache_sizes_collapse_dedupes():
+    # Fin2 at scale 0.0005 has a ~200-page footprint: every fraction
+    # collapses onto the 64-page floor, which must yield one size.
+    assert _cache_sizes("Fin2", 0.0005) == [64]
+
+
+def test_fig4_parallel_engine_matches_serial():
+    kwargs = dict(scale=MICRO, partition_fracs=(0.0039, 0.0098),
+                  cache_fraction=0.2)
+    serial = fig4(**kwargs)
+    parallel = fig4(engine=SweepEngine(jobs=2), **kwargs)
+    assert serial.rows == parallel.rows
+    assert parallel.timing["jobs"] == 2
+    assert parallel.timing["executed"] == len(parallel.rows)
+
+
+def test_figures_carry_sweep_timing():
+    r = table1(scale=MICRO)
+    assert r.timing is not None
+    assert r.timing["cells"] == 4
+    assert "sweep:" in r.render()
 
 
 def test_table2_micro():

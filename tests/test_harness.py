@@ -71,6 +71,52 @@ class TestRunner:
         assert a.ssd_write_pages == b.ssd_write_pages
         assert a.hit_ratio == b.hit_ratio
 
+    def test_unknown_policy_kwarg_rejected(self, small_trace):
+        with pytest.raises(ConfigError) as exc:
+            simulate_policy("wt", small_trace, 256,
+                            policy_kwargs={"bogus_kw": 1})
+        assert "wt" in str(exc.value)
+        assert "bogus_kw" in str(exc.value)
+
+    def test_unknown_policy_kwarg_rejected_via_build_policy(self, small_trace):
+        raid = make_raid_for_trace(small_trace)
+        config = CacheConfig(cache_pages=256)
+        with pytest.raises(ConfigError):
+            build_policy("kdd", config, raid, not_an_option=True)
+
+
+class TestEmptyTrace:
+    """Degenerate traces must stay well-defined end to end."""
+
+    @pytest.fixture()
+    def empty_trace(self):
+        from repro.traces import Trace, empty_records
+
+        return Trace(empty_records(0), name="empty")
+
+    def test_max_page_and_duration_defined(self, empty_trace):
+        assert len(empty_trace) == 0
+        assert empty_trace.max_page == 0
+        assert empty_trace.duration == 0.0
+
+    def test_stats_all_zero(self, empty_trace):
+        stats = empty_trace.stats()
+        assert stats.requests == 0
+        assert stats.unique_pages == 0
+        assert stats.read_ratio == 0.0
+
+    def test_make_raid_returns_minimal_valid_array(self, empty_trace):
+        raid = make_raid_for_trace(empty_trace)
+        assert raid.capacity_pages > 0
+        # still whole stripes, so normal I/O paths work
+        assert raid.capacity_pages % raid.layout.chunk_pages == 0
+
+    def test_simulate_policy_runs(self, empty_trace):
+        for name in ("wt", "kdd", "nossd"):
+            r = simulate_policy(name, empty_trace, cache_pages=64)
+            assert r.stats.accesses == 0
+            assert r.hit_ratio == 0.0
+
 
 class TestReport:
     def test_render_table_alignment(self):

@@ -1,6 +1,5 @@
 """Behavioural and property tests for KDD."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Behavioural tests for the baseline cache policies (WT/WA/WB/LeavO/Nossd)."""
 
-import pytest
 
 from repro.cache import (
     CacheConfig,

@@ -142,3 +142,22 @@ class TestClosedLoop:
                             read_rate=0.75, nthreads=2)
         )
         assert rep.workload == "fio-zipf-r75"
+
+
+class TestLatencyRecorder:
+    def test_negative_response_time_is_simulation_error(self):
+        from repro.errors import SimulationError
+        from repro.stats.latency import LatencyRecorder
+
+        rec = LatencyRecorder()
+        with pytest.raises(SimulationError):
+            rec.record(-1e-6)
+        # a simulator fault is not a configuration mistake
+        assert not issubclass(SimulationError, ConfigError)
+
+    def test_zero_response_time_allowed(self):
+        from repro.stats.latency import LatencyRecorder
+
+        rec = LatencyRecorder()
+        rec.record(0.0)
+        assert len(rec) == 1

@@ -1,0 +1,183 @@
+"""Tests for the parallel experiment engine (repro.harness.sweep)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.sweep import (
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    run_sweep,
+    sim_cell,
+    trace_desc,
+)
+
+#: A tiny zipf trace: cheap enough to run dozens of cells in tests.
+TRACE = trace_desc("zipf", n_requests=1500, universe_pages=600, alpha=1.0,
+                   read_ratio=0.3, seed=5, name="tiny")
+
+
+def grid():
+    return [
+        sim_cell(policy, TRACE, cache_pages, seed=1)
+        for cache_pages in (64, 128)
+        for policy in ("wt", "leavo", "kdd")
+    ]
+
+
+class TestCells:
+    def test_params_sorted_on_construction(self):
+        a = SweepCell(kind="sim", policy="wt", trace=TRACE, cache_pages=64,
+                      params=(("b", 2), ("a", 1)))
+        b = SweepCell(kind="sim", policy="wt", trace=TRACE, cache_pages=64,
+                      params=(("a", 1), ("b", 2)))
+        assert a == b
+        assert a.config_hash() == b.config_hash()
+
+    def test_hash_distinguishes_configs(self):
+        a = sim_cell("wt", TRACE, 64, seed=1)
+        b = sim_cell("wt", TRACE, 128, seed=1)
+        c = sim_cell("wt", TRACE, 64, seed=2)
+        assert len({a.config_hash(), b.config_hash(), c.config_hash()}) == 3
+
+    def test_derived_seed_stable_and_config_dependent(self):
+        a = sim_cell("wt", TRACE, 64, seed=None)
+        b = sim_cell("wt", TRACE, 64, seed=None)
+        c = sim_cell("wt", TRACE, 128, seed=None)
+        assert a.effective_seed() == b.effective_seed()
+        assert a.effective_seed() != c.effective_seed()
+
+    def test_explicit_seed_used_verbatim(self):
+        assert sim_cell("wt", TRACE, 64, seed=7).effective_seed() == 7
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepCell(kind="nope", policy="wt", trace=TRACE)
+
+    def test_unknown_trace_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            trace_desc("nope", name="x")
+
+
+class TestDeterminism:
+    def test_parallel_rows_identical_to_serial(self):
+        serial = run_sweep(grid(), jobs=1)
+        parallel = run_sweep(grid(), jobs=4)
+        assert serial.rows == parallel.rows
+        assert parallel.stats.executed == 6
+        assert parallel.stats.jobs == 4
+
+    def test_rows_ordered_by_cell_index(self):
+        result = run_sweep(grid(), jobs=4)
+        policies = [row["policy"] for row in result.rows]
+        assert policies == ["wt", "leavo", "kdd"] * 2
+        assert [row["cache_pages"] for row in result.rows] == [64] * 3 + [128] * 3
+
+    def test_sim_rows_match_direct_simulate_policy(self):
+        from repro.harness.runner import simulate_policy
+        from repro.traces import zipf_workload
+
+        trace = zipf_workload(1500, 600, alpha=1.0, read_ratio=0.3, seed=5,
+                              name="tiny")
+        direct = simulate_policy("wt", trace, 64, seed=1).row()
+        (row,) = run_sweep([sim_cell("wt", TRACE, 64, seed=1)]).rows
+        for key, value in direct.items():
+            assert row[key] == value
+
+
+class TestCache:
+    def test_second_run_executes_zero_cells(self, tmp_path):
+        first = run_sweep(grid(), jobs=1, cache=tmp_path)
+        assert first.stats.executed == 6
+        assert first.stats.cached == 0
+        second = run_sweep(grid(), jobs=2, cache=tmp_path)
+        assert second.stats.executed == 0
+        assert second.stats.cached == 6
+        assert second.rows == first.rows
+
+    def test_force_recomputes_and_refreshes(self, tmp_path):
+        run_sweep(grid(), cache=tmp_path)
+        forced = run_sweep(grid(), cache=tmp_path, force=True)
+        assert forced.stats.executed == 6
+        assert forced.stats.cached == 0
+
+    def test_cache_miss_on_changed_config(self, tmp_path):
+        run_sweep(grid(), cache=tmp_path)
+        shifted = [sim_cell("wt", TRACE, 64, seed=2)]
+        result = run_sweep(shifted, cache=tmp_path)
+        assert result.stats.executed == 1
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cells = [sim_cell("wt", TRACE, 64, seed=1)]
+        run_sweep(cells, cache=tmp_path)
+        for path in ResultCache(tmp_path).root.glob("*.json"):
+            path.write_text("{not json")
+        result = run_sweep(cells, cache=tmp_path)
+        assert result.stats.executed == 1
+
+    def test_clear(self, tmp_path):
+        run_sweep(grid(), cache=tmp_path)
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 6
+        assert cache.clear() == 6
+        assert len(cache) == 0
+
+
+class TestEngine:
+    def test_duplicate_cells_run_once(self):
+        cells = [sim_cell("wt", TRACE, 64, seed=1)] * 3
+        result = run_sweep(cells)
+        assert result.stats.executed == 1
+        assert result.stats.deduped == 2
+        assert result.rows[0] == result.rows[1] == result.rows[2]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepEngine(jobs=0)
+
+    def test_progress_callback_sees_every_cell(self):
+        ticks = []
+        run_sweep(grid(), progress=ticks.append)
+        assert [t.done for t in ticks] == list(range(1, 7))
+        assert all(t.total == 6 for t in ticks)
+        assert not any(t.from_cache for t in ticks)
+
+    def test_progress_reports_cache_hits(self, tmp_path):
+        run_sweep(grid(), cache=tmp_path)
+        ticks = []
+        run_sweep(grid(), cache=tmp_path, progress=ticks.append)
+        assert all(t.from_cache for t in ticks)
+
+    def test_stats_instrumentation(self):
+        result = run_sweep(grid())
+        stats = result.stats
+        assert stats.total == 6
+        assert stats.elapsed > 0
+        assert stats.cells_per_sec > 0
+        assert len(stats.cell_seconds) == 6
+        assert 0.0 <= stats.worker_utilisation <= 1.0
+        row = stats.row()
+        for key in ("cells", "executed", "cached", "deduped", "jobs",
+                    "elapsed_s", "cells_per_sec", "worker_utilisation"):
+            assert key in row
+
+    def test_replay_and_fio_kinds(self):
+        replay = SweepCell(kind="replay", policy="wt", trace=TRACE,
+                           cache_pages=64, seed=1,
+                           params=(("max_requests", 200),))
+        fio = SweepCell(kind="fio", policy="wt", cache_pages=256, seed=1,
+                        params=(("total_requests", 200),
+                                ("working_set_pages", 1000),
+                                ("read_rate", 0.5), ("nthreads", 4)))
+        stats_cell = SweepCell(kind="stats", trace=TRACE)
+        rows = run_sweep([replay, fio, stats_cell], jobs=2).rows
+        assert rows[0]["policy"] == "wt" and rows[0]["mean_ms"] >= 0
+        assert rows[1]["read_rate"] == 0.5 and "ssd_write_pages" in rows[1]
+        assert rows[2]["workload"] == "tiny"
+
+    def test_worker_failure_propagates(self):
+        bad = sim_cell("no-such-policy", TRACE, 64)
+        with pytest.raises(ConfigError):
+            run_sweep([bad], jobs=1)
+        with pytest.raises(ConfigError):
+            run_sweep([bad, sim_cell("wt", TRACE, 64)], jobs=2)
