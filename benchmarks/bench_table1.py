@@ -15,5 +15,5 @@ def test_table1(run_figure):
     assert by_name["Hm0"]["read_ratio"] < 0.40           # write dominant
     assert by_name["Fin2"]["read_ratio"] > 0.75          # read dominant
     assert by_name["Web0"]["read_ratio"] > 0.55          # read dominant
-    for name, r in by_name.items():
+    for r in by_name.values():
         assert abs(r["read_ratio"] - r["paper_read_ratio"]) < 0.03

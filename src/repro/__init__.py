@@ -20,7 +20,6 @@ Quickstart::
     print(result.hit_ratio, result.ssd_write_pages)
 """
 
-from .units import DEFAULT_PAGE_SIZE, GiB, KiB, MiB, TiB
 from .errors import (
     CacheError,
     CapacityError,
@@ -35,6 +34,7 @@ from .errors import (
     WornOutError,
 )
 from .traces import Trace, TraceStats, make_workload, zipf_workload
+from .units import DEFAULT_PAGE_SIZE, GiB, KiB, MiB, TiB
 
 
 def simulate_policy(*args, **kwargs):

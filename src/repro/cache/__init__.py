@@ -8,18 +8,18 @@ from .admission import (
     make_admission,
 )
 from .base import CacheConfig, CachePolicy, Outcome, TrafficCounters
-from .sets import CacheLine, CacheSets
-from .mlog import MetadataLog
 from .common import SetAssocPolicy
-from .nocache import Nossd
-from .writethrough import WriteThrough
-from .writearound import WriteAround
-from .writeback import WriteBack
-from .leavo import LeavO
 from .dedup import ContentModel, DedupWriteThrough
+from .leavo import LeavO
+from .mlog import MetadataLog
+from .nocache import Nossd
 from .raidcache import MirroredWriteBack
+from .sets import CacheLine, CacheSets
 from .wbpolicies import JournaledWriteBack, OrderedWriteBack
 from .wec import WecWriteThrough
+from .writearound import WriteAround
+from .writeback import WriteBack
+from .writethrough import WriteThrough
 
 __all__ = [
     "AdmissionPolicy",

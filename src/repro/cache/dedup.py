@@ -137,7 +137,7 @@ class DedupWriteThrough(CachePolicy):
 
     def _evict_one(self) -> bool:
         """Evict the LRU fingerprint and every LBA mapping onto it."""
-        for content, entry in self._store.items():
+        for content in self._store:
             victims = [l for l, c in self._source.items() if c == content]
             for lba in victims:
                 del self._source[lba]

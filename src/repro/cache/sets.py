@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any
 
 from ..errors import CacheError, ConfigError
 from ..nvram.metabuffer import PageState

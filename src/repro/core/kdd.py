@@ -182,7 +182,7 @@ class KDD(SetAssocPolicy):
         if not stripes:
             return False
         self.forced_cleanings += 1
-        for stripe in stripes:
+        for stripe in sorted(stripes):
             self._stale_order.pop(stripe, None)
             self._clean_stripe(stripe, sink)
         return self.sets.has_free_slot(set_idx) or self._evict_one_clean(set_idx)
@@ -311,7 +311,7 @@ class KDD(SetAssocPolicy):
             self.forced_cleanings += 1
             stripes = {self.raid.layout.stripe_of(d.lba) for d in items}
             staged = {d.lba: d.size for d in items}
-            for stripe in stripes:
+            for stripe in sorted(stripes):
                 self._stale_order.pop(stripe, None)
                 self._clean_stripe(stripe, out, dropped_staging=staged)
             return

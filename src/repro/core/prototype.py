@@ -187,7 +187,7 @@ class KDDDataPath:
                 loc = self.sets.alloc_dez()
         if loc is None:
             # fully pinned: repair the affected stripes immediately
-            for stripe in {self.raid.layout.stripe_of(d.lba) for d in items}:
+            for stripe in sorted({self.raid.layout.stripe_of(d.lba) for d in items}):
                 self._clean_stripe(stripe)
             return
         lpn = self.sets.lpn_of(*loc)

@@ -1,0 +1,46 @@
+"""kdd-lint: AST-based determinism/taxonomy/unit linter for src/repro.
+
+Public API::
+
+    from repro.devtools.lint import lint_paths, lint_source, all_rules
+
+    findings = lint_paths([Path("src/repro")])
+
+See README.md ("Static analysis") for the command-line interface and
+DESIGN.md for the invariants each rule encodes.
+"""
+
+from __future__ import annotations
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cli import main
+from .engine import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    repro_relpath,
+)
+from .findings import META_CODE, Finding, fingerprint
+from .rules import REGISTRY, Rule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "META_CODE",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "fingerprint",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "parse_suppressions",
+    "register",
+    "repro_relpath",
+    "write_baseline",
+]

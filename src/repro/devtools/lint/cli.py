@@ -1,0 +1,133 @@
+"""``kdd-lint`` command line (also reachable as ``kdd-repro lint``).
+
+Exit codes: 0 clean, 1 findings remain after suppressions/baseline,
+2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+from ...errors import ReproError
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import lint_paths
+from .findings import Finding
+from .rules import REGISTRY, all_rules
+
+_DEFAULT_TARGET = "src/repro"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kdd-lint",
+        description="Domain-specific static analysis for the repro library: "
+        "determinism, error-taxonomy, and unit-discipline invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files or directories to lint (default: {_DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default %(default)s); json output is stable "
+        "and byte-identical across runs",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path, default=None,
+        help="JSON baseline of grandfathered findings to ignore",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline to cover all current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.code} {rule.name}")
+        print(f"    {rule.summary}")
+    return 0
+
+
+def _parse_select(spec: str) -> set[str]:
+    codes = {c.strip().upper() for c in spec.split(",") if c.strip()}
+    unknown = sorted(codes - set(REGISTRY))
+    if unknown:
+        raise ReproError(
+            f"unknown rule codes: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(REGISTRY))}"
+        )
+    return codes
+
+
+def _render_json(findings: list[Finding]) -> str:
+    counts = Counter(f.code for f in findings)
+    doc = {
+        "version": 1,
+        "findings": [f.to_json() for f in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    if args.update_baseline and args.baseline is None:
+        print("kdd-lint: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in (args.paths or [_DEFAULT_TARGET])]
+    try:
+        select = _parse_select(args.select) if args.select else None
+        findings = lint_paths(paths, select=select)
+
+        if args.update_baseline:
+            count = write_baseline(args.baseline, findings)
+            print(f"kdd-lint: wrote {count} fingerprint(s) to {args.baseline}",
+                  file=sys.stderr)
+            return 0
+
+        stale = 0
+        if args.baseline is not None:
+            findings, stale = apply_baseline(findings, load_baseline(args.baseline))
+    except ReproError as exc:
+        print(f"kdd-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(_render_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            counts = Counter(f.code for f in findings)
+            summary = ", ".join(f"{c}: {n}" for c, n in sorted(counts.items()))
+            print(f"\n{len(findings)} finding(s) ({summary})")
+        else:
+            print("kdd-lint: clean")
+    if stale:
+        print(
+            f"kdd-lint: {stale} stale baseline entr{'y' if stale == 1 else 'ies'} "
+            "(fixed findings); regenerate with --update-baseline",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,189 @@
+"""kdd-lint engine: file walking, suppressions, and finding assembly.
+
+The engine is itself held to the determinism bar it enforces: files
+are visited in sorted order, rules run in code order, and findings are
+sorted by a stable key, so two runs over the same tree produce
+byte-identical output regardless of filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path, PurePosixPath
+
+from ...errors import ConfigError
+from .findings import META_CODE, Finding
+from .rules import REGISTRY, Rule, all_rules
+
+#: Inline suppression comment: a hash, the tool name, a colon, then
+#: ``disable=`` followed by one code, a comma list, or ``all`` (see the
+#: examples in :func:`parse_suppressions`'s docstring).
+_SUPPRESS_RE = re.compile(r"#\s*kdd-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+_ALL = "all"
+
+
+def parse_suppressions(source: str) -> dict[int, list[str]]:
+    """Map line number -> suppressed codes, parsed from comment tokens.
+
+    Recognised forms (always on the line of the finding)::
+
+        x = time.time()        # kdd-lint: disable=RPR002
+        y = {a} | {b}          # kdd-lint: disable=RPR004,RPR007
+        z = random.random()    # kdd-lint: disable=all
+
+    Comments are found with :mod:`tokenize` rather than substring
+    matching, so ``kdd-lint: disable=`` inside a string literal is not
+    treated as a suppression.  Unparseable source yields no
+    suppressions (the engine reports the syntax error separately).
+    """
+    out: dict[int, list[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        codes = [c.strip() for c in match.group(1).split(",")]
+        line = tok.start[0]
+        out.setdefault(line, []).extend(
+            c.lower() if c.lower() == _ALL else c.upper() for c in codes if c
+        )
+    return out
+
+
+def repro_relpath(path: Path) -> str:
+    """Path relative to the ``repro`` package root, as a posix string.
+
+    ``src/repro/sim/system.py`` -> ``sim/system.py``.  Files outside a
+    ``repro`` directory fall back to their basename, which leaves them
+    unscoped (path-scoped rules treat them as top-level modules).
+    """
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rel = parts[i + 1 :]
+            if rel:
+                return str(PurePosixPath(*rel))
+    return path.name
+
+
+def rules_for(relpath: str, select: set[str] | None = None) -> list[type[Rule]]:
+    chosen = all_rules()
+    if select is not None:
+        chosen = [r for r in chosen if r.code in select]
+    return [r for r in chosen if r.applies_to(relpath)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    relpath: str | None = None,
+    select: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; returns sorted, unsuppressed findings.
+
+    ``relpath`` positions the module for path-scoped rules (RPR002,
+    RPR005); tests use this to lint fixture snippets "as if" they lived
+    under ``sim/`` etc.  Includes RPR000 meta-findings for suppression
+    comments that suppressed nothing.
+    """
+    if relpath is None:
+        relpath = path if "/" not in path else repro_relpath(Path(path))
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        return [
+            Finding(path, relpath, line, col, META_CODE,
+                    f"syntax error: {exc.msg}")
+        ]
+
+    lines = source.splitlines()
+
+    def src_line(lineno: int) -> str:
+        return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+    raw: list[Finding] = []
+    for rule_cls in rules_for(relpath, select):
+        for line, col, message in rule_cls(relpath).run(tree):
+            raw.append(
+                Finding(path, relpath, line, col, rule_cls.code, message,
+                        source=src_line(line))
+            )
+
+    suppressions = parse_suppressions(source)
+    used: set[tuple[int, str]] = set()
+    kept: list[Finding] = []
+    for finding in raw:
+        codes = suppressions.get(finding.line, [])
+        if finding.code in codes:
+            used.add((finding.line, finding.code))
+        elif _ALL in codes:
+            used.add((finding.line, _ALL))
+        else:
+            kept.append(finding)
+
+    for line in sorted(suppressions):
+        for code in suppressions[line]:
+            if (line, code) in used:
+                continue
+            if code != _ALL and code != META_CODE and code not in REGISTRY:
+                message = f"suppression of unknown rule {code}"
+            else:
+                message = f"unused suppression of {code}: no {code} finding on this line"
+            if META_CODE in suppressions[line]:
+                continue  # explicitly waived, e.g. shared fixture lines
+            kept.append(
+                Finding(path, relpath, line, 0, META_CODE, message,
+                        source=src_line(line))
+            )
+
+    return sorted(kept, key=Finding.sort_key)
+
+
+def lint_file(path: Path, select: set[str] | None = None) -> list[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read {path}: {exc}") from exc
+    return lint_source(source, path=str(path), relpath=repro_relpath(path),
+                       select=select)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise ConfigError(f"no such file or directory: {path}")
+        else:
+            candidates = []
+        for cand in candidates:
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(cand)
+    return sorted(out, key=lambda p: str(p))
+
+
+def lint_paths(paths: list[Path], select: set[str] | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; deterministic order."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file, select=select))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,60 @@
+"""Finding record shared by every kdd-lint rule and output format."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Code reserved for the linter's own meta-diagnostics (unused
+#: suppressions).  Real rules use RPR001..; RPR000 can be suppressed
+#: like any other code.
+META_CODE = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic at a specific source location.
+
+    ``path`` is the path as given on the command line (for display);
+    ``relpath`` is the module path relative to the ``repro`` package
+    root (for rule scoping and baseline fingerprints, so baselines
+    survive checking out the tree at a different prefix).
+    """
+
+    path: str
+    relpath: str
+    line: int
+    col: int
+    code: str
+    message: str
+    source: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str, str]:
+        return (self.relpath, self.line, self.col, self.code, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "col": self.col,
+            "line": self.line,
+            "message": self.message,
+            "path": self.relpath,
+        }
+
+
+def fingerprint(finding: Finding, occurrence: int) -> str:
+    """Stable identity of a finding for baseline files.
+
+    Keyed on the rule code, module-relative path, and the *stripped
+    source line* rather than the line number, so unrelated edits that
+    shift code up or down do not invalidate a baseline.  ``occurrence``
+    disambiguates identical lines within one file (0-based, in source
+    order).
+    """
+    text = "\x1f".join(
+        [finding.code, finding.relpath, finding.source.strip(), str(occurrence)]
+    )
+    return hashlib.sha1(text.encode()).hexdigest()

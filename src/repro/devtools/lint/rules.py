@@ -1,0 +1,502 @@
+"""Rule registry and the built-in RPR rules.
+
+Each rule is an :class:`ast.NodeVisitor` subclass registered under a
+stable ``RPRxxx`` code.  Rules receive one parsed module at a time via
+:meth:`Rule.run` and report ``(line, col, message)`` tuples; scoping,
+suppression, and baselines are the engine's job.
+
+The rules encode the invariants behind the reproduction's
+byte-for-byte determinism guarantee (see DESIGN.md):
+
+==========  ===========================================================
+RPR001      unseeded or global randomness in library code
+RPR002      wall-clock reads inside simulation modules
+RPR003      builtin exceptions raised instead of the repro.errors taxonomy
+RPR004      iteration over sets without ``sorted()`` (hash-order hazard)
+RPR005      float ``==`` / ``!=`` comparisons in stats/ and sim/
+RPR006      mutable default arguments
+RPR007      arithmetic mixing ``*_bytes`` and ``*_pages`` quantities
+==========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ...errors import ConfigError
+
+#: Module directories (relative to the ``repro`` package root) that
+#: hold *simulation* code, where wall-clock time is banned outright.
+SIM_DIRS = ("sim", "cache", "raid", "core", "flash", "delta", "nvram")
+
+#: Directories where exact float comparison is flagged (RPR005).
+FLOAT_EQ_DIRS = ("stats", "sim")
+
+#: The measurement harness drives real processes and may read the wall
+#: clock for operator-facing progress output; it is allowlisted from
+#: RPR002 (and only RPR002 — every other rule still applies to it).
+HARNESS_DIRS = ("harness", "devtools")
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one rule instance is created per linted file."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def __init__(self, relpath: str) -> None:
+        self.relpath = relpath
+        self.findings: list[tuple[int, int, str]] = []
+
+    @classmethod
+    def applies_to(cls, relpath: str) -> bool:
+        """Whether this rule runs on the module at ``relpath``."""
+        return True
+
+    def run(self, tree: ast.Module) -> list[tuple[int, int, str]]:
+        self.visit(tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            (getattr(node, "lineno", 1), getattr(node, "col_offset", 0), message)
+        )
+
+
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    if cls.code in REGISTRY:
+        raise ConfigError(f"duplicate rule code {cls.code}")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Registered rules in code order (the engine's execution order)."""
+    return [REGISTRY[code] for code in sorted(REGISTRY)]
+
+
+def _in_dirs(relpath: str, dirs: tuple[str, ...]) -> bool:
+    return relpath.split("/", 1)[0] in dirs
+
+
+class _ImportTracker(Rule):
+    """Rule helper that tracks module aliases and from-imports."""
+
+    def __init__(self, relpath: str) -> None:
+        super().__init__(relpath)
+        # alias -> dotted module name, e.g. {"np": "numpy", "time": "time"}
+        self.modules: dict[str, str] = {}
+        # local name -> "module.attr", e.g. {"perf_counter": "time.perf_counter"}
+        self.names: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Dotted name of a call target, resolved through imports.
+
+        ``np.random.rand(...)`` -> ``"numpy.random.rand"`` when ``np``
+        aliases numpy; ``perf_counter()`` -> ``"time.perf_counter"``
+        after ``from time import perf_counter``.  Returns ``None`` for
+        targets that are not import-rooted (locals, methods on
+        objects).
+        """
+        parts: list[str] = []
+        cur: ast.expr = node.func
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.reverse()
+        if cur.id in self.modules:
+            return ".".join([self.modules[cur.id], *parts])
+        if cur.id in self.names:
+            return ".".join([self.names[cur.id], *parts])
+        return None
+
+
+#: numpy.random attributes that construct *seedable* generators (fine
+#: to call; RPR001 separately checks default_rng's arguments).
+_NP_SEEDABLE = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+     "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+)
+
+
+@register
+class UnseededRandomness(_ImportTracker):
+    code = "RPR001"
+    name = "unseeded-randomness"
+    summary = (
+        "Global or unseeded randomness (random.*, legacy np.random.* "
+        "globals, default_rng() without a seed) breaks cross-run and "
+        "cross-worker reproducibility; thread an explicit seed or "
+        "np.random.Generator instead."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.resolve_call(node)
+        if target is not None:
+            self._check(node, target)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, target: str) -> None:
+        if target.startswith("random."):
+            attr = target.split(".", 1)[1]
+            if attr in ("Random", "SystemRandom") and (node.args or node.keywords):
+                return  # random.Random(seed) is explicitly seeded
+            self.report(
+                node,
+                f"call to {target}() uses the process-global random state; "
+                "use a seeded np.random.Generator",
+            )
+            return
+        if target.startswith("numpy.random."):
+            attr = target.split(".", 2)[2]
+            if "." in attr:
+                return  # method on Generator etc., already seeded
+            if attr not in _NP_SEEDABLE:
+                self.report(
+                    node,
+                    f"legacy global np.random.{attr}() depends on hidden "
+                    "state; use np.random.default_rng(seed)",
+                )
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "default_rng() without a seed draws OS entropy; pass an "
+                    "explicit seed",
+                )
+
+
+#: Call targets that read the wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns", "time.process_time",
+        "time.process_time_ns", "time.clock_gettime", "time.localtime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClock(_ImportTracker):
+    code = "RPR002"
+    name = "wall-clock"
+    summary = (
+        "Simulation modules must be pure functions of their inputs: "
+        "reading the wall clock (time.time, perf_counter, datetime.now) "
+        "makes results run-dependent.  Simulated time comes from the "
+        "trace; only the harness may time real execution."
+    )
+
+    @classmethod
+    def applies_to(cls, relpath: str) -> bool:
+        return _in_dirs(relpath, SIM_DIRS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.resolve_call(node)
+        if target in _WALL_CLOCK:
+            self.report(
+                node,
+                f"wall-clock call {target}() in simulation code; simulated "
+                "time must come from the trace/engine, not the host clock",
+            )
+        self.generic_visit(node)
+
+
+#: Builtin exceptions that signal a *library* failure and must be
+#: replaced by the repro.errors taxonomy.  TypeError, AssertionError,
+#: NotImplementedError mark programming errors and deliberately
+#: propagate unchanged (see repro.errors docstring); KeyError/IndexError/
+#: StopIteration implement container and iterator protocols.
+_FORBIDDEN_RAISES = frozenset(
+    {"ValueError", "RuntimeError", "Exception", "BaseException",
+     "OSError", "IOError", "EnvironmentError", "ArithmeticError",
+     "LookupError", "BufferError"}
+)
+
+
+@register
+class BuiltinRaise(Rule):
+    code = "RPR003"
+    name = "builtin-raise"
+    summary = (
+        "Library code raises from the repro.errors taxonomy so callers "
+        "can catch library failures without masking programming errors; "
+        "bare ValueError/RuntimeError/... escape that contract."
+    )
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _FORBIDDEN_RAISES:
+            self.report(
+                node,
+                f"raise {name} from library code; use a repro.errors class "
+                "(ConfigError, SimulationError, ...) instead",
+            )
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.expr, set_vars: dict[str, bool]) -> bool:
+    """Statically-known set expression (literal, constructor, tracked var)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.Name):
+        return set_vars.get(node.id, False)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra (a | b, a - b, ...) over known sets
+        return _is_set_expr(node.left, set_vars) and _is_set_expr(node.right, set_vars)
+    return False
+
+
+@register
+class SetIteration(Rule):
+    code = "RPR004"
+    name = "set-iteration"
+    summary = (
+        "Iterating a set feeds hash order into simulation state, which "
+        "varies across PYTHONHASHSEED values and sweep workers; wrap "
+        "the iterable in sorted() to pin a total order."
+    )
+
+    def __init__(self, relpath: str) -> None:
+        super().__init__(relpath)
+        self._scopes: list[dict[str, bool]] = [{}]
+
+    # -- scope tracking -------------------------------------------------
+    def _walk_scope(self, node: ast.AST) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _walk_scope
+    visit_AsyncFunctionDef = _walk_scope
+    visit_Lambda = _walk_scope
+
+    def _set_vars(self) -> dict[str, bool]:
+        return self._scopes[-1]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_set_expr(node.value, self._set_vars())
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                self._set_vars()[tgt.id] = is_set
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._set_vars()[node.target.id] = _is_set_expr(
+                node.value, self._set_vars()
+            )
+        self.generic_visit(node)
+
+    # -- iteration contexts ---------------------------------------------
+    def _check_iter(self, iterable: ast.expr) -> None:
+        if _is_set_expr(iterable, self._set_vars()):
+            self.report(
+                iterable,
+                "iteration over a set is hash-ordered and nondeterministic "
+                "across workers; use sorted(...) to fix the order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # building another set keeps the order hazard contained; only
+        # flag once the result is *iterated*, which the contexts above
+        # catch.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # list(s) / tuple(s) materialise hash order into a sequence
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "enumerate")
+            and len(node.args) == 1
+        ):
+            self._check_iter(node.args[0])
+        self.generic_visit(node)
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    code = "RPR005"
+    name = "float-equality"
+    summary = (
+        "Exact == / != against float values is brittle under "
+        "re-association (parallel reduction order); compare with "
+        "math.isclose or a tolerance."
+    )
+
+    @classmethod
+    def applies_to(cls, relpath: str) -> bool:
+        return _in_dirs(relpath, FLOAT_EQ_DIRS)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _is_floatish(left) or _is_floatish(right)
+            ):
+                self.report(
+                    node,
+                    "exact float == / != comparison; use math.isclose or "
+                    "an explicit tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+
+@register
+class MutableDefault(Rule):
+    code = "RPR006"
+    name = "mutable-default"
+    summary = (
+        "Mutable default arguments are shared across calls, leaking "
+        "state between simulation runs; default to None (or use "
+        "dataclasses.field(default_factory=...))."
+    )
+
+    def _check_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CTORS
+            )
+            if mutable:
+                self.report(
+                    default,
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+
+_BYTES_TOKENS = frozenset({"bytes", "nbytes"})
+_PAGES_TOKENS = frozenset({"pages", "npages"})
+_TOKEN_SPLIT = re.compile(r"[_\W]+")
+
+
+def _unit_of(node: ast.expr) -> str | None:
+    """'bytes' / 'pages' classification of an operand by naming convention."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    tokens = set(_TOKEN_SPLIT.split(name.lower()))
+    byteish = bool(tokens & _BYTES_TOKENS)
+    pageish = bool(tokens & _PAGES_TOKENS)
+    if byteish == pageish:  # untyped, or pathologically both
+        return None
+    return "bytes" if byteish else "pages"
+
+
+@register
+class UnitMixing(Rule):
+    code = "RPR007"
+    name = "unit-mixing"
+    summary = (
+        "Adding, subtracting, or comparing a *_bytes quantity against a "
+        "*_pages quantity is a unit error; convert through repro.units "
+        "(pages_for_bytes, DEFAULT_PAGE_SIZE) first.  Multiplication "
+        "and division are exempt (they perform the conversion)."
+    )
+
+    def _check_pair(self, node: ast.AST, left: ast.expr, right: ast.expr) -> None:
+        lu, ru = _unit_of(left), _unit_of(right)
+        if lu is not None and ru is not None and lu != ru:
+            self.report(
+                node,
+                f"mixes a {lu}-valued name with a {ru}-valued name; convert "
+                "via repro.units before combining",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            self._check_pair(node, node.left, node.right)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                self._check_pair(node, left, right)
+        self.generic_visit(node)

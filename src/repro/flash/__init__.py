@@ -1,7 +1,8 @@
 """Flash SSD substrate: geometry, FTL, wear tracking, device model."""
 
-from .geometry import DEFAULT_GEOMETRY, FlashGeometry
+from .device import SSD, SSDLatency
 from .ftl import FREE, PageMappedFTL
+from .geometry import DEFAULT_GEOMETRY, FlashGeometry
 from .wear import (
     MLC_ENDURANCE,
     SLC_ENDURANCE,
@@ -9,7 +10,6 @@ from .wear import (
     WearTracker,
     relative_lifetime,
 )
-from .device import SSD, SSDLatency
 
 __all__ = [
     "DEFAULT_GEOMETRY",

@@ -20,6 +20,15 @@ from .sweep import SweepEngine, SweepProgress
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Delegate `kdd-repro lint ...` wholesale to the kdd-lint CLI before
+    # argparse sees the arguments (REMAINDER would swallow leading
+    # options like --list-rules otherwise).
+    args_in = sys.argv[1:] if argv is None else argv
+    if args_in[:1] == ["lint"]:
+        from ..devtools.lint.cli import main as lint_main
+
+        return lint_main(args_in[1:])
+
     parser = argparse.ArgumentParser(
         prog="kdd-repro",
         description="Reproduce the evaluation of 'Improving RAID Performance "
@@ -60,6 +69,13 @@ def main(argv: list[str] | None = None) -> int:
         "--progress",
         action="store_true",
         help="print one line per finished sweep cell",
+    )
+
+    sub.add_parser(
+        "lint",
+        help="run the kdd-lint static analyzer (determinism/taxonomy/unit "
+        "invariants); same as the kdd-lint console script",
+        add_help=False,
     )
 
     simulate = sub.add_parser(

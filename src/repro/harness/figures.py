@@ -18,7 +18,8 @@ The index lives in DESIGN.md; EXPERIMENTS.md records paper-vs-measured.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..traces.workloads import (
     ALL_WORKLOADS,

@@ -9,15 +9,15 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, fields
-from typing import Any, Type
+from typing import Any
 
 from ..cache.base import CacheConfig, CachePolicy, TrafficCounters
 from ..cache.dedup import DedupWriteThrough
 from ..cache.leavo import LeavO
+from ..cache.nocache import Nossd
 from ..cache.raidcache import MirroredWriteBack
 from ..cache.wbpolicies import JournaledWriteBack, OrderedWriteBack
 from ..cache.wec import WecWriteThrough
-from ..cache.nocache import Nossd
 from ..cache.writearound import WriteAround
 from ..cache.writeback import WriteBack
 from ..cache.writethrough import WriteThrough
@@ -27,7 +27,7 @@ from ..raid.array import RaidCounters, RAIDArray
 from ..raid.layout import RaidLevel
 from ..traces.trace import Trace
 
-POLICIES: dict[str, Type[CachePolicy]] = {
+POLICIES: dict[str, type[CachePolicy]] = {
     "nossd": Nossd,
     "wt": WriteThrough,
     "wa": WriteAround,
@@ -134,7 +134,7 @@ def build_policy(
 
 
 def _check_policy_kwargs(
-    name: str, cls: Type[CachePolicy], policy_kwargs: dict[str, Any]
+    name: str, cls: type[CachePolicy], policy_kwargs: dict[str, Any]
 ) -> None:
     """Reject unknown constructor kwargs with a ConfigError, not a TypeError.
 

@@ -1,7 +1,7 @@
 """Battery-backed NVRAM buffers (staging buffer + metadata buffer)."""
 
-from .staging import StagedDelta, StagingBuffer
 from .metabuffer import MappingEntry, MetadataBuffer, PageState
+from .staging import StagedDelta, StagingBuffer
 
 __all__ = [
     "StagedDelta",

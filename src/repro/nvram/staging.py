@@ -12,8 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..errors import ConfigError
 from ..delta.packer import DELTA_HEADER_BYTES
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)

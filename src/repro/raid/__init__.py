@@ -11,11 +11,11 @@ from .parity import (
     verify_stripe,
     xor_blocks,
 )
-from .layout import PageLocation, RaidLayout, RaidLevel
 from .array import DiskOp, OpKind, RaidCounters, RAIDArray
+from .layout import PageLocation, RaidLayout, RaidLevel
+from .logstructured import LogStructuredRaid
 from .rebuild import RebuildReport, rebuild_disk, resync_stale_parity
 from .smallwrite import AfraidRaid, ParityLoggingRaid, SmallWriteCounters
-from .logstructured import LogStructuredRaid
 from .tiered import TierCounters, TieredRaid
 
 __all__ = [

@@ -20,9 +20,9 @@ reconstruct-write mode).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -222,7 +222,7 @@ class RAIDArray:
             )
         offset = loc.disk_page - loc.stripe * self.layout.chunk_pages
         ops = []
-        for other_lpage, other in self._data_locations_at_offset(loc.stripe, offset):
+        for _lpage, other in self._data_locations_at_offset(loc.stripe, offset):
             if other.disk == loc.disk:
                 continue
             if other.disk in self.failed_disks:
@@ -256,7 +256,7 @@ class RAIDArray:
             raise DegradedError(f"stale parity on stripe {loc.stripe}")
         offset = loc.disk_page - loc.stripe * self.layout.chunk_pages
         blocks = []
-        for other_lpage, other in self._data_locations_at_offset(loc.stripe, offset):
+        for _lpage, other in self._data_locations_at_offset(loc.stripe, offset):
             if other.disk == loc.disk:
                 continue
             if other.disk in self.failed_disks:

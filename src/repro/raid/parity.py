@@ -7,7 +7,7 @@ page each).  P is plain XOR; Q is the Reed-Solomon syndrome
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

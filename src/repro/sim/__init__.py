@@ -1,9 +1,9 @@
 """Discrete-event timing simulation (the 'prototype' measurements)."""
 
-from .devices import DiskServer, SSDServer, ServiceWindow
-from .system import TimedSystem, TimingReport
-from .openloop import replay_trace
 from .closedloop import FioConfig, run_closed_loop
+from .devices import DiskServer, ServiceWindow, SSDServer
+from .openloop import replay_trace
+from .system import TimedSystem, TimingReport
 
 __all__ = [
     "DiskServer",

@@ -1,9 +1,15 @@
 """Trace infrastructure: formats, parsers, and synthetic workload generators."""
 
-from .record import IO_DTYPE, IORequest, empty_records
-from .trace import Trace, TraceStats
-from .spc import parse_spc, write_spc, concat_spc
+from .analysis import (
+    ReuseProfile,
+    lru_stack_distances,
+    reuse_profile,
+    working_set_sizes,
+    write_hit_potential,
+)
 from .msr import parse_msr
+from .record import IO_DTYPE, IORequest, empty_records
+from .spc import concat_spc, parse_spc, write_spc
 from .synthetic import (
     FootprintSpec,
     footprint_workload,
@@ -12,14 +18,8 @@ from .synthetic import (
     zipf_ranks,
     zipf_workload,
 )
+from .trace import Trace, TraceStats
 from .uniform import convert, load_trace, save_trace
-from .analysis import (
-    ReuseProfile,
-    lru_stack_distances,
-    reuse_profile,
-    working_set_sizes,
-    write_hit_potential,
-)
 from .workloads import (
     ALL_WORKLOADS,
     READ_DOMINANT,

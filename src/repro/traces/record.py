@@ -10,6 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
+
+from ..errors import ConfigError
 
 #: Structured dtype of one block-level I/O request.
 #:
@@ -17,7 +20,7 @@ import numpy as np
 #: ``lba``    – first page address (page-granular logical block address)
 #: ``npages`` – request length in pages (>= 1)
 #: ``is_read`` – True for reads, False for writes
-IO_DTYPE = np.dtype(
+IO_DTYPE: np.dtype[np.void] = np.dtype(
     [
         ("time", np.float64),
         ("lba", np.uint64),
@@ -38,9 +41,9 @@ class IORequest:
 
     def __post_init__(self) -> None:
         if self.npages < 1:
-            raise ValueError(f"request length must be >= 1 page, got {self.npages}")
+            raise ConfigError(f"request length must be >= 1 page, got {self.npages}")
         if self.lba < 0:
-            raise ValueError(f"negative LBA: {self.lba}")
+            raise ConfigError(f"negative LBA: {self.lba}")
 
     @property
     def is_write(self) -> bool:
@@ -51,6 +54,6 @@ class IORequest:
         return range(self.lba, self.lba + self.npages)
 
 
-def empty_records(n: int) -> np.ndarray:
+def empty_records(n: int) -> npt.NDArray[np.void]:
     """Allocate an uninitialised record array of ``n`` requests."""
     return np.empty(n, dtype=IO_DTYPE)

@@ -15,8 +15,8 @@ each ASU a fixed page-aligned region.
 from __future__ import annotations
 
 import io
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Iterable
 
 import numpy as np
 

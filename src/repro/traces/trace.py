@@ -8,12 +8,12 @@ page size the LBAs are expressed in.  It offers vectorised statistics
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator
 
 import numpy as np
 
-from ..errors import TraceFormatError
+from ..errors import ConfigError, TraceFormatError
 from ..units import DEFAULT_PAGE_SIZE
 from .record import IO_DTYPE, IORequest
 
@@ -160,7 +160,7 @@ class Trace:
     def scaled_time(self, factor: float) -> "Trace":
         """Uniformly compress (<1) or stretch (>1) arrival times."""
         if factor <= 0:
-            raise ValueError("time scale factor must be positive")
+            raise ConfigError("time scale factor must be positive")
         rec = self._records.copy()
         rec["time"] *= factor
         return Trace(rec, name=self.name, page_size=self.page_size)

@@ -7,6 +7,8 @@ are seconds (floats).  Block-level components address storage in fixed
 
 from __future__ import annotations
 
+from .errors import ConfigError
+
 KiB = 1024
 MiB = 1024 * KiB
 GiB = 1024 * MiB
@@ -22,7 +24,7 @@ MILLISECOND = 1e-3
 def pages_for_bytes(nbytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
     """Number of whole pages needed to hold ``nbytes`` (ceiling division)."""
     if nbytes < 0:
-        raise ValueError(f"negative byte count: {nbytes}")
+        raise ConfigError(f"negative byte count: {nbytes}")
     return -(-nbytes // page_size)
 
 

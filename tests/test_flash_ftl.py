@@ -90,7 +90,7 @@ def test_sequential_overwrite_low_waf():
     """Whole-device sequential overwrite invalidates whole blocks: WAF ~ 1."""
     ftl = small_ftl(op=0.25)
     n = ftl.exported_pages
-    for sweep in range(6):
+    for _sweep in range(6):
         for lpn in range(n):
             ftl.write(lpn)
     assert ftl.write_amplification < 1.6

@@ -91,7 +91,7 @@ def test_cost_benefit_uses_age():
 def test_sequential_waf_one_for_all_policies():
     for policy in ("greedy", "fifo", "cost-benefit"):
         ftl = make_ftl(gc_policy=policy)
-        for sweep in range(4):
+        for _sweep in range(4):
             for lpn in range(ftl.exported_pages):
                 ftl.write(lpn)
         assert ftl.write_amplification < 1.6, policy

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cache import CacheConfig
 from repro.errors import ConfigError
 from repro.harness import (
     POLICIES,
@@ -12,7 +13,6 @@ from repro.harness import (
 )
 from repro.harness.cli import main as cli_main
 from repro.harness.report import FigureResult
-from repro.cache import CacheConfig
 from repro.raid import RaidLevel
 from repro.traces import uniform_workload, zipf_workload
 

@@ -81,7 +81,7 @@ class TestWritePath:
         # two pages alternating: deltas of 2048B fill the staging buffer fast
         kdd.read(1)
         kdd.read(2)
-        for i in range(6):
+        for _ in range(6):
             kdd.write(1)
             kdd.write(2)
         # at least one commit happened; writing again invalidates DEZ deltas

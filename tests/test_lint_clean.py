@@ -1,0 +1,55 @@
+"""Tier-1 gate: the library itself passes its own static analysis.
+
+This is the executable form of the determinism invariants in DESIGN.md:
+if a change reintroduces wall-clock reads, unseeded randomness, builtin
+raises, hash-ordered iteration, etc. into ``src/repro``, this test —
+and the CI lint job — fail.
+"""
+
+import json
+from pathlib import Path
+
+from repro.devtools.lint import lint_paths
+from repro.devtools.lint.cli import main as lint_main
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_src_repro_exists():
+    assert SRC.is_dir(), f"expected library sources at {SRC}"
+
+
+def test_src_repro_is_lint_clean():
+    findings = lint_paths([SRC])
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"kdd-lint findings in src/repro:\n{rendered}"
+
+
+def test_cli_on_src_repro_exits_zero(capsys):
+    assert lint_main([str(SRC), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"] == [] and doc["counts"] == {}
+
+
+def test_json_output_byte_identical_across_runs(capsys):
+    lint_main([str(SRC), "--format", "json"])
+    first = capsys.readouterr().out
+    lint_main([str(SRC), "--format", "json"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_kdd_repro_lint_subcommand_delegates(capsys):
+    from repro.harness.cli import main as repro_main
+
+    assert repro_main(["lint", str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert repro_main(["lint", "--list-rules"]) == 0
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_file_order_does_not_affect_output():
+    forward = lint_paths([SRC])
+    pieces = sorted(SRC.rglob("*.py"), reverse=True)
+    backward = lint_paths(pieces)
+    assert forward == backward

@@ -1,0 +1,495 @@
+"""Per-rule fixture tests for kdd-lint (repro.devtools.lint).
+
+Every rule gets at least one *trigger* snippet (must produce exactly
+that rule's code) and one *clean* snippet (must produce nothing), plus
+tests for inline suppressions, unused-suppression reporting, baseline
+files, and output stability.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import (
+    META_CODE,
+    Finding,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    parse_suppressions,
+    write_baseline,
+)
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.rules import REGISTRY
+from repro.errors import ConfigError
+
+
+def codes(src, relpath="core/mod.py", **kwargs):
+    src = textwrap.dedent(src)
+    return [f.code for f in lint_source(src, relpath=relpath, **kwargs)]
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_has_all_seven_rules():
+    assert sorted(REGISTRY) == [f"RPR00{i}" for i in range(1, 8)]
+
+
+def test_rule_metadata_is_complete():
+    for code, rule in REGISTRY.items():
+        assert rule.code == code
+        assert rule.name
+        assert rule.summary
+
+
+# ---------------------------------------------------------------- RPR001
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import random\nx = random.random()\n",
+        "import random\nrandom.shuffle(items)\n",
+        "from random import choice\ny = choice(items)\n",
+        "import random\nr = random.Random()\n",
+        "import numpy as np\nx = np.random.rand(4)\n",
+        "import numpy as np\nnp.random.seed(0)\n",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "from numpy.random import default_rng\nrng = default_rng()\n",
+    ],
+)
+def test_rpr001_triggers(snippet):
+    assert codes(snippet) == ["RPR001"]
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed)\n",
+        "import random\nr = random.Random(42)\n",
+        "from numpy.random import default_rng\nrng = default_rng(3)\n",
+        # methods on an explicit Generator are seeded by construction
+        "def f(rng):\n    return rng.random()\n",
+    ],
+)
+def test_rpr001_clean(snippet):
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------- RPR002
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.perf_counter()\n",
+        "from time import perf_counter\nt = perf_counter()\n",
+        "import datetime\nnow = datetime.datetime.now()\n",
+        "from datetime import datetime\nnow = datetime.now()\n",
+    ],
+)
+@pytest.mark.parametrize("where", ["sim/x.py", "cache/x.py", "raid/x.py",
+                                   "core/x.py", "flash/x.py", "delta/x.py",
+                                   "nvram/x.py"])
+def test_rpr002_triggers_in_sim_dirs(snippet, where):
+    assert codes(snippet, relpath=where) == ["RPR002"]
+
+
+def test_rpr002_allowlists_harness_and_tools():
+    snippet = "import time\nt = time.time()\n"
+    assert codes(snippet, relpath="harness/cli.py") == []
+    assert codes(snippet, relpath="devtools/lint/engine.py") == []
+    assert codes(snippet, relpath="traces/trace.py") == []
+
+
+def test_rpr002_ignores_simulated_time_attributes():
+    # attribute access and local variables named `time` are fine
+    assert codes("t = req.time\n", relpath="sim/x.py") == []
+    assert codes("def f(time):\n    return time + 1\n", relpath="sim/x.py") == []
+
+
+# ---------------------------------------------------------------- RPR003
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "raise ValueError('bad')\n",
+        "raise RuntimeError('bad')\n",
+        "raise Exception('bad')\n",
+        "def f():\n    raise OSError('bad')\n",
+        "raise ValueError\n",
+    ],
+)
+def test_rpr003_triggers(snippet):
+    assert codes(snippet) == ["RPR003"]
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "from repro.errors import ConfigError\nraise ConfigError('bad')\n",
+        # programming errors propagate unchanged by design
+        "raise TypeError('not a Trace')\n",
+        "raise NotImplementedError\n",
+        "raise AssertionError('unreachable')\n",
+        # container/iterator protocol
+        "def f(k):\n    raise KeyError(k)\n",
+        # bare re-raise
+        "try:\n    f()\nexcept ValueError:\n    raise\n",
+    ],
+)
+def test_rpr003_clean(snippet):
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------- RPR004
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "for x in {1, 2, 3}:\n    f(x)\n",
+        "for x in set(items):\n    f(x)\n",
+        "def g(items):\n    s = {i.key for i in items}\n    for x in s:\n        f(x)\n",
+        "def g(a, b):\n    s = set(a) | set(b)\n    for x in s:\n        f(x)\n",
+        "ys = [f(x) for x in set(items)]\n",
+        "ys = list(set(items))\n",
+        "def g(items):\n    s = frozenset(items)\n    return tuple(s)\n",
+    ],
+)
+def test_rpr004_triggers(snippet):
+    assert codes(snippet) == ["RPR004"]
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "for x in sorted({1, 2, 3}):\n    f(x)\n",
+        "for x in sorted(set(items)):\n    f(x)\n",
+        "def g(items):\n    s = set(items)\n    for x in sorted(s):\n        f(x)\n",
+        "for x in [1, 2, 3]:\n    f(x)\n",
+        "for k in mapping:\n    f(k)\n",  # dicts keep insertion order
+        "x = {1, 2} & {2, 3}\n",  # set algebra without iteration
+        "ok = 3 in {1, 2, 3}\n",  # membership test, no ordering
+    ],
+)
+def test_rpr004_clean(snippet):
+    assert codes(snippet) == []
+
+
+def test_rpr004_set_binding_is_scoped_per_function():
+    src = """
+    def f(items):
+        s = set(items)
+        return len(s)
+
+    def g(s):
+        for x in s:   # untracked name: no static set evidence
+            yield x
+    """
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------- RPR005
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "ok = x == 0.5\n",
+        "ok = 1.0 != y\n",
+        "ok = (a / b) == c\n",
+        "ok = float(a) == b\n",
+    ],
+)
+def test_rpr005_triggers_in_scoped_dirs(snippet):
+    assert codes(snippet, relpath="stats/latency.py") == ["RPR005"]
+    assert codes(snippet, relpath="sim/system.py") == ["RPR005"]
+
+
+def test_rpr005_scoped_out_elsewhere():
+    assert codes("ok = x == 0.5\n", relpath="cache/base.py") == []
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "ok = x == 5\n",
+        "ok = x < 0.5\n",  # ordering comparisons are fine
+        "import math\nok = math.isclose(x, 0.5)\n",
+    ],
+)
+def test_rpr005_clean(snippet):
+    assert codes(snippet, relpath="stats/latency.py") == []
+
+
+# ---------------------------------------------------------------- RPR006
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(xs=[]):\n    return xs\n",
+        "def f(xs={}):\n    return xs\n",
+        "def f(xs=set()):\n    return xs\n",
+        "def f(xs=list()):\n    return xs\n",
+        "def f(*, xs=dict()):\n    return xs\n",
+        "async def f(xs=[]):\n    return xs\n",
+    ],
+)
+def test_rpr006_triggers(snippet):
+    assert codes(snippet) == ["RPR006"]
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(xs=None):\n    return xs or []\n",
+        "def f(xs=()):\n    return xs\n",
+        "def f(n=4, name='x'):\n    return n\n",
+    ],
+)
+def test_rpr006_clean(snippet):
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------- RPR007
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "total = cache_bytes + cache_pages\n",
+        "left = size_bytes - used_pages\n",
+        "ok = nbytes < npages\n",
+        "ok = obj.nbytes == obj.npages\n",
+        "rem = free_bytes % npages\n",
+    ],
+)
+def test_rpr007_triggers(snippet):
+    assert codes(snippet) == ["RPR007"]
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        # multiplication/division perform the conversion and are exempt
+        "total_bytes = npages * page_size\n",
+        "npages = total_bytes // page_size\n",
+        "total = a_bytes + b_bytes\n",
+        "total = a_pages + b_pages\n",
+        "ok = nbytes < limit\n",  # untyped operand
+    ],
+)
+def test_rpr007_clean(snippet):
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------- suppressions
+
+
+def test_inline_suppression_silences_finding():
+    src = "raise ValueError('x')  # kdd-lint: disable=RPR003\n"
+    assert codes(src) == []
+
+
+def test_suppression_of_other_code_does_not_apply():
+    src = "raise ValueError('x')  # kdd-lint: disable=RPR001\n"
+    got = codes(src)
+    assert "RPR003" in got and META_CODE in got  # unused RPR001 + real RPR003
+
+
+def test_suppress_all_on_line():
+    src = "raise ValueError('x')  # kdd-lint: disable=all\n"
+    assert codes(src) == []
+
+
+def test_multi_code_suppression():
+    src = (
+        "import time\n"
+        "t = time.time() if a_bytes > b_pages else 0.0  "
+        "# kdd-lint: disable=RPR002,RPR007\n"
+    )
+    assert codes(src, relpath="sim/x.py") == []
+
+
+def test_unused_suppression_reported():
+    src = "x = 1  # kdd-lint: disable=RPR003\n"
+    findings = lint_source(src, relpath="core/mod.py")
+    assert [f.code for f in findings] == [META_CODE]
+    assert "unused suppression of RPR003" in findings[0].message
+
+
+def test_unknown_code_suppression_reported():
+    src = "x = 1  # kdd-lint: disable=RPR999\n"
+    findings = lint_source(src, relpath="core/mod.py")
+    assert [f.code for f in findings] == [META_CODE]
+    assert "unknown rule" in findings[0].message
+
+
+def test_suppression_inside_string_is_ignored():
+    src = 's = "# kdd-lint: disable=RPR003"\nraise ValueError("x")\n'
+    assert codes(src) == ["RPR003"]
+
+
+def test_parse_suppressions_maps_lines():
+    src = "x = 1\ny = 2  # kdd-lint: disable=RPR001, RPR004\n"
+    assert parse_suppressions(src) == {2: ["RPR001", "RPR004"]}
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = lint_source("def f(:\n", relpath="core/mod.py")
+    assert [f.code for f in findings] == [META_CODE]
+    assert "syntax error" in findings[0].message
+
+
+# ---------------------------------------------------------------- select
+
+
+def test_select_limits_rules():
+    src = "raise ValueError('x')\nfor i in set(xs):\n    f(i)\n"
+    assert codes(src, select={"RPR003"}) == ["RPR003"]
+    assert codes(src, select={"RPR004"}) == ["RPR004"]
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def _findings_for(src, relpath="core/mod.py"):
+    return lint_source(textwrap.dedent(src), relpath=relpath)
+
+
+def test_baseline_roundtrip_filters_grandfathered(tmp_path):
+    src = "raise ValueError('a')\n"
+    findings = _findings_for(src)
+    base = tmp_path / "baseline.json"
+    assert write_baseline(base, findings) == 1
+    kept, stale = apply_baseline(findings, load_baseline(base))
+    assert kept == [] and stale == 0
+
+
+def test_baseline_does_not_mask_new_findings(tmp_path):
+    old = _findings_for("raise ValueError('a')\n")
+    base = tmp_path / "baseline.json"
+    write_baseline(base, old)
+    new = _findings_for("raise ValueError('a')\nraise RuntimeError('b')\n")
+    kept, stale = apply_baseline(new, load_baseline(base))
+    assert [f.code for f in kept] == ["RPR003"]
+    assert "RuntimeError" in kept[0].message
+    assert stale == 0
+
+
+def test_baseline_survives_line_shift(tmp_path):
+    old = _findings_for("raise ValueError('a')\n")
+    base = tmp_path / "baseline.json"
+    write_baseline(base, old)
+    shifted = _findings_for("x = 1\n\n\nraise ValueError('a')\n")
+    kept, stale = apply_baseline(shifted, load_baseline(base))
+    assert kept == [] and stale == 0
+
+
+def test_baseline_counts_duplicate_lines_separately(tmp_path):
+    two = _findings_for("raise ValueError('a')\nraise ValueError('a')\n")
+    base = tmp_path / "baseline.json"
+    write_baseline(base, two[:1])  # grandfather only one occurrence
+    kept, _ = apply_baseline(two, load_baseline(base))
+    assert [f.code for f in kept] == ["RPR003"]
+
+
+def test_stale_baseline_entries_counted(tmp_path):
+    old = _findings_for("raise ValueError('a')\n")
+    base = tmp_path / "baseline.json"
+    write_baseline(base, old)
+    kept, stale = apply_baseline([], load_baseline(base))
+    assert kept == [] and stale == 1
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    bad = tmp_path / "base.json"
+    bad.write_text("[1, 2]")
+    with pytest.raises(ConfigError):
+        load_baseline(bad)
+    bad.write_text("not json")
+    with pytest.raises(ConfigError):
+        load_baseline(bad)
+
+
+# ---------------------------------------------------------------- CLI & output
+
+
+def _write_tree(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("raise ValueError('x')\n")
+    (pkg / "good.py").write_text("x = 1\n")
+    return tmp_path / "repro"
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    tree = _write_tree(tmp_path)
+    assert lint_main([str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR003" in out and "bad.py" in out
+    assert lint_main([str(tree / "core" / "good.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_unknown_select_code(tmp_path, capsys):
+    tree = _write_tree(tmp_path)
+    assert lint_main([str(tree), "--select", "RPR9"]) == 2
+    assert "unknown rule codes" in capsys.readouterr().err
+
+
+def test_cli_json_output_is_stable(tmp_path, capsys):
+    tree = _write_tree(tmp_path)
+    assert lint_main([str(tree), "--format", "json"]) == 1
+    first = capsys.readouterr().out
+    assert lint_main([str(tree), "--format", "json"]) == 1
+    second = capsys.readouterr().out
+    assert first == second
+    doc = json.loads(first)
+    assert doc["counts"] == {"RPR003": 1}
+    assert doc["findings"][0]["path"] == "core/bad.py"
+
+
+def test_cli_baseline_workflow(tmp_path, capsys):
+    tree = _write_tree(tmp_path)
+    base = tmp_path / "baseline.json"
+    assert lint_main([str(tree), "--baseline", str(base),
+                      "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert lint_main([str(tree), "--baseline", str(base)]) == 0
+    capsys.readouterr()
+    # a new finding is not masked by the baseline
+    (tree / "core" / "worse.py").write_text("raise RuntimeError('y')\n")
+    assert lint_main([str(tree), "--baseline", str(base)]) == 1
+    assert "RuntimeError" in capsys.readouterr().out
+
+
+def test_cli_update_baseline_requires_baseline(capsys):
+    assert lint_main(["--update-baseline"]) == 2
+    assert "requires --baseline" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in REGISTRY:
+        assert code in out
+
+
+def test_findings_sorted_deterministically():
+    src = "raise ValueError('b')\nraise ValueError('a')\nfor i in set(x):\n    f(i)\n"
+    findings = lint_source(textwrap.dedent(src), relpath="core/mod.py")
+    assert findings == sorted(findings, key=Finding.sort_key)
+    assert [f.line for f in findings] == [1, 2, 3]

@@ -67,7 +67,7 @@ class TestCleaning:
     def test_gc_reclaims_overwritten_stripes(self):
         ls = make_ls(chunk_pages=2, pages_per_disk=32, reserve=2)
         # hammer a working set smaller than the array
-        for round_ in range(12):
+        for _round in range(12):
             for lpage in range(ls.stripe_pages * 2):
                 ls.write(lpage)
         assert ls.gc_runs > 0
@@ -93,7 +93,7 @@ class TestCleaning:
         """LFS best case: whole stripes die together, GC moves nothing."""
         ls = make_ls(chunk_pages=2, pages_per_disk=128, reserve=4)
         footprint = ls.exported_pages // 2
-        for round_ in range(6):
+        for _round in range(6):
             for lpage in range(footprint):
                 ls.write(lpage)
         assert ls.write_amplification == 1.0

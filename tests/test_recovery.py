@@ -78,7 +78,7 @@ class TestPowerFailure:
         kdd, _ = make_system(cache_pages=2048, ways=64,
                              meta_partition_frac=0.004)
         # churn enough metadata to wrap the circular log
-        for round_ in range(3):
+        for _round in range(3):
             for lba in range(800):
                 kdd.read(lba)
                 kdd.write(lba)

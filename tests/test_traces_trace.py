@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import TraceFormatError
+from repro.errors import ConfigError, TraceFormatError
 from repro.traces import IO_DTYPE, IORequest, Trace, empty_records
 
 
@@ -83,7 +83,7 @@ def test_head_truncates():
 def test_scaled_time():
     tr = make_trace([(0.0, 1, 1, True), (4.0, 2, 1, True)])
     assert tr.scaled_time(0.5).duration == pytest.approx(2.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         tr.scaled_time(0.0)
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.units import (
     DEFAULT_PAGE_SIZE,
     GiB,
@@ -35,7 +36,7 @@ def test_pages_for_bytes_custom_page_size():
 
 
 def test_pages_for_bytes_rejects_negative():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         pages_for_bytes(-1)
 
 
