@@ -222,7 +222,15 @@ class KDD(SetAssocPolicy):
         out = Outcome(
             hit=True,
             is_read=False,
-            fg_disk_ops=self.raid.write_without_parity_update(lba),
+            # While the array is degraded, parity IS the failed member's
+            # data — delaying its update would widen the loss window to
+            # certainty, so writes fall back to immediate parity updates
+            # until the rebuild completes (Section III-E).
+            fg_disk_ops=(
+                self.raid.write(lba)
+                if self.raid.degraded
+                else self.raid.write_without_parity_update(lba)
+            ),
             fg_compute=self.compress_time,
         )
         # the old version must be read from SSD to compute the XOR delta

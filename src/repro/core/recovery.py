@@ -117,17 +117,19 @@ def verify_recovery(kdd: KDD, recovered: RecoveredState) -> None:
         raise RecoveryError("recovered DEZ valid counts mismatch")
 
 
-def recover_from_ssd_failure(kdd: KDD) -> RebuildReport:
+def recover_from_ssd_failure(kdd: KDD, keep_ops: bool = False) -> RebuildReport:
     """The SSD cache died: resynchronise all delayed parity on the array.
 
     Data is never lost (RPO = 0) because writes were always dispatched
     to RAID; the array just needs its stale stripes reconstructed before
     it is single-fault tolerant again.
     """
-    return resync_stale_parity(kdd.raid)
+    return resync_stale_parity(kdd.raid, keep_ops=keep_ops)
 
 
-def recover_from_hdd_failure(kdd: KDD, disk: int) -> RebuildReport:
+def recover_from_hdd_failure(
+    kdd: KDD, disk: int, keep_ops: bool = False
+) -> RebuildReport:
     """A member disk died: repair parity first, then rebuild the member."""
     kdd.raid.fail_disk(disk)
     # flush every delayed parity using the cache's deltas (Section III-E2)
@@ -138,4 +140,4 @@ def recover_from_hdd_failure(kdd: KDD, disk: int) -> RebuildReport:
         stripe = next(iter(kdd._stale_order))
         del kdd._stale_order[stripe]
         kdd._clean_stripe(stripe, sink)
-    return rebuild_disk(kdd.raid, disk)
+    return rebuild_disk(kdd.raid, disk, keep_ops=keep_ops)

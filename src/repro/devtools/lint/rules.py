@@ -16,6 +16,7 @@ RPR004      iteration over sets without ``sorted()`` (hash-order hazard)
 RPR005      float ``==`` / ``!=`` comparisons in stats/ and sim/
 RPR006      mutable default arguments
 RPR007      arithmetic mixing ``*_bytes`` and ``*_pages`` quantities
+RPR008      naked ``except Exception`` swallowing the error taxonomy
 ==========  ===========================================================
 """
 
@@ -28,7 +29,7 @@ from ...errors import ConfigError
 
 #: Module directories (relative to the ``repro`` package root) that
 #: hold *simulation* code, where wall-clock time is banned outright.
-SIM_DIRS = ("sim", "cache", "raid", "core", "flash", "delta", "nvram")
+SIM_DIRS = ("sim", "cache", "raid", "core", "flash", "delta", "nvram", "faults")
 
 #: Directories where exact float comparison is flagged (RPR005).
 FLOAT_EQ_DIRS = ("stats", "sim")
@@ -499,4 +500,66 @@ class UnitMixing(Rule):
         for op, left, right in zip(node.ops, operands, operands[1:]):
             if isinstance(op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
                 self._check_pair(node, left, right)
+        self.generic_visit(node)
+
+
+#: Over-broad exception classes a handler must not silently absorb.
+_BROAD_CATCHES = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler matches Exception/BaseException or everything."""
+    def broad(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in _BROAD_CATCHES
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in _BROAD_CATCHES
+        return False
+
+    if handler.type is None:
+        return True  # bare except:
+    if isinstance(handler.type, ast.Tuple):
+        return any(broad(el) for el in handler.type.elts)
+    return broad(handler.type)
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body (re-)raises on every analysis we attempt.
+
+    A ``raise`` anywhere in the handler's own statements counts —
+    including ``raise SomeError(...) from exc`` conversions into the
+    taxonomy — but raises inside functions *defined* in the handler do
+    not execute when the handler runs, so nested scopes are skipped.
+    """
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class BroadExcept(Rule):
+    code = "RPR008"
+    name = "broad-except"
+    summary = (
+        "`except Exception` (or bare except) in library code swallows "
+        "programming errors together with taxonomy failures, hiding "
+        "determinism bugs behind fallback paths; catch a repro.errors "
+        "class, a specific builtin, or re-raise."
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _catches_broadly(node) and not _reraises(node):
+            what = "bare except:" if node.type is None else \
+                "except over Exception/BaseException"
+            self.report(
+                node,
+                f"{what} swallows the error silently; catch a repro.errors "
+                "class (ReproError subclass) or re-raise",
+            )
         self.generic_visit(node)

@@ -41,6 +41,33 @@ class WornOutError(FlashError):
     """A flash block exceeded its program/erase endurance budget."""
 
 
+class FaultError(ReproError):
+    """An injected device fault surfaced to the host (see repro.faults).
+
+    These model the *partial* and *transient* failures Section III-E of
+    the paper does not exercise: latent sector errors and device
+    timeouts.  They are raised (or returned as typed outcomes) by the
+    device layer; the RAID layer turns them into degraded-mode reads.
+    """
+
+
+class MediaError(FaultError):
+    """A latent sector error: the page is unreadable on its member device.
+
+    The data still exists everywhere else in the stripe — a parity RAID
+    reconstructs it from the surviving chunks, unless the stripe's
+    parity is stale (then the read degrades to :class:`DegradedError`).
+    """
+
+
+class DeviceTimeoutError(FaultError):
+    """A device command stalled past its deadline (transient fault).
+
+    Transient by definition: a retry may succeed.  Raised only once a
+    :class:`repro.faults.RetryPolicy` has exhausted its bounded retries.
+    """
+
+
 class RaidError(ReproError):
     """Illegal RAID operation or unrecoverable array state."""
 

@@ -1,0 +1,80 @@
+"""Deterministic fault injection for the storage stack (beyond III-E).
+
+The paper's failure analysis (Section III-E) covers clean, whole-device
+failures only: power loss, SSD-cache loss, HDD loss.  Real arrays also
+see *partial* faults (latent sector errors — an unrecoverable read error
+on one page) and *transient* faults (device timeouts), and those are
+exactly where KDD's delayed-parity protocol matters: a stripe whose
+parity is stale cannot reconstruct a lost page until the cleaner repairs
+the parity.  This package makes that window executable:
+
+* :class:`FaultSchedule` — seeded, per-device RNG streams (the same
+  hash-derivation discipline as the sweep engine's per-cell seeds), so a
+  fault sweep is byte-identical across ``--jobs`` counts;
+* :class:`RetryPolicy` — bounded retries with deterministic exponential
+  backoff, modelled as added latency, then escalation;
+* :class:`FaultyTimedSystem` — the timing simulator with fault hooks on
+  every device, degraded-mode reconstruction reads, and an event log;
+* :class:`Scrubber` — background stripe verification and repair via the
+  ``parity_update`` / rewrite interfaces;
+* the ``kdd-repro faults`` experiment driver (fault rate x retry
+  policy -> degraded-mode response time).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .retry import RETRY_POLICIES, RetryPolicy, retry_policy
+from .schedule import (
+    DeviceFaultStream,
+    FaultConfig,
+    FaultCounters,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
+
+#: Names resolved lazily (PEP 562): these modules import the sim/raid
+#: layers, which themselves import :mod:`repro.faults.schedule` for the
+#: device fault hooks — importing them eagerly here would be circular.
+_LAZY = {
+    "FaultyTimedSystem": "timed",
+    "rebuild_under_load": "timed",
+    "Scrubber": "scrubber",
+    "ScrubReport": "scrubber",
+    "FAULTS_KEYS": "experiment",
+    "demo_event_log": "experiment",
+    "faults_cell": "experiment",
+    "run_faults_cell": "experiment",
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "FAULTS_KEYS",
+    "RETRY_POLICIES",
+    "DeviceFaultStream",
+    "FaultConfig",
+    "FaultCounters",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultyTimedSystem",
+    "RetryPolicy",
+    "ScrubReport",
+    "Scrubber",
+    "demo_event_log",
+    "faults_cell",
+    "rebuild_under_load",
+    "retry_policy",
+    "run_faults_cell",
+]

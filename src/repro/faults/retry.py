@@ -1,0 +1,81 @@
+"""Bounded, deterministic retry with exponential backoff.
+
+A transient device timeout is retried up to ``max_retries`` times; each
+attempt waits ``base_backoff * multiplier**attempt`` (attempt 0 is the
+first retry).  The waits are *modelled as added latency* on the faulted
+command — the device stays busy, later requests queue behind it — and
+when retries run out the fault escalates (reconstruction for member
+disks, :class:`~repro.errors.DeviceTimeoutError` where there is no
+redundancy to fall back on).
+
+No jitter: backoff is a pure function of the attempt number, so two
+runs of the same schedule produce identical timings.  (Jittered backoff
+exists to de-synchronise independent clients; a simulation wants the
+opposite.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient fault, and how long to wait."""
+
+    max_retries: int = 3
+    base_backoff: float = 0.001
+    multiplier: float = 2.0
+    name: str = "backoff"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.base_backoff < 0:
+            raise ConfigError("base_backoff must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Wait before retry number ``attempt`` (0-based), in seconds."""
+        if attempt < 0:
+            raise ConfigError("attempt must be >= 0")
+        return self.base_backoff * self.multiplier**attempt
+
+    def total_backoff(self, attempts: int) -> float:
+        """Accumulated wait after ``attempts`` retries."""
+        return sum(self.backoff(i) for i in range(attempts))
+
+    def row(self) -> dict[str, Any]:
+        return {
+            "retry": self.name,
+            "max_retries": self.max_retries,
+            "base_backoff": self.base_backoff,
+            "multiplier": self.multiplier,
+        }
+
+
+#: Named policies the experiment driver sweeps over.
+RETRY_POLICIES: dict[str, RetryPolicy] = {
+    # fail fast: first timeout escalates immediately
+    "none": RetryPolicy(max_retries=0, base_backoff=0.0, name="none"),
+    # constant 1 ms pauses
+    "fixed": RetryPolicy(max_retries=3, base_backoff=0.001, multiplier=1.0,
+                         name="fixed"),
+    # exponential 1-2-4 ms (the default)
+    "backoff": RetryPolicy(max_retries=3, base_backoff=0.001, multiplier=2.0,
+                           name="backoff"),
+}
+
+
+def retry_policy(name: str) -> RetryPolicy:
+    """Look up a named retry policy for the CLI / sweep drivers."""
+    try:
+        return RETRY_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown retry policy {name!r}; choose from {sorted(RETRY_POLICIES)}"
+        ) from None

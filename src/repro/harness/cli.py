@@ -78,6 +78,40 @@ def main(argv: list[str] | None = None) -> int:
         add_help=False,
     )
 
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: fault rate x retry policy through the "
+        "timing simulator (deterministic for any --jobs)",
+    )
+    faults.add_argument("--policy", default="kdd",
+                        help="cache policy under test (default %(default)s)")
+    faults.add_argument("--rates", default="0,0.001,0.01",
+                        help="comma-separated URE rates per page read "
+                        "(default %(default)s)")
+    faults.add_argument("--timeout-rates", default="0.005",
+                        help="comma-separated timeout rates per command "
+                        "(default %(default)s)")
+    faults.add_argument("--retries", default="none,fixed,backoff",
+                        help="comma-separated retry policies "
+                        "(default %(default)s)")
+    faults.add_argument("--requests", type=int, default=2000,
+                        help="requests per cell (default %(default)s)")
+    faults.add_argument("--universe-pages", type=int, default=1 << 14,
+                        help="workload address-space size in pages "
+                        "(default %(default)s)")
+    faults.add_argument("--cache-pages", type=int, default=512,
+                        help="cache size in pages (default %(default)s)")
+    faults.add_argument("--jobs", "-j", type=int, default=1)
+    faults.add_argument("--cache-dir", default=os.environ.get("REPRO_SWEEP_CACHE"))
+    faults.add_argument("--force", action="store_true")
+    faults.add_argument("--progress", action="store_true")
+    faults.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the deterministic vulnerability-window demo event log "
+        "(fresh-stripe URE reconstructs; stale-stripe URE degrades until "
+        "the cleaner repairs parity) as JSON",
+    )
+
     simulate = sub.add_parser(
         "simulate", help="run one policy over one workload and print the row"
     )
@@ -107,6 +141,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "simulate":
         return _simulate_command(args)
+
+    if args.command == "faults":
+        return _faults_command(args)
 
     names = list(ALL_FIGURES) if "all" in args.figures else args.figures
     unknown = [n for n in names if n not in ALL_FIGURES]
@@ -162,6 +199,66 @@ def _load_workload(name: str, scale: float):
         f"unknown workload {name!r}: use one of {ALL_WORKLOADS} "
         "or a path ending in .spc/.csv"
     )
+
+
+def _parse_rates(text: str, what: str) -> list[float]:
+    try:
+        return [float(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"bad {what} list {text!r}: expected comma-separated "
+                         "numbers") from None
+
+
+def _faults_command(args) -> int:
+    import json
+
+    from ..faults import RETRY_POLICIES, demo_event_log, faults_cell
+    from .report import render_table
+    from .sweep import trace_desc
+
+    retries = [r.strip() for r in args.retries.split(",") if r.strip()]
+    unknown = [r for r in retries if r not in RETRY_POLICIES]
+    if unknown:
+        raise SystemExit(f"unknown retry policies {unknown}; "
+                         f"choose from {sorted(RETRY_POLICIES)}")
+    trace = trace_desc(
+        "uniform",
+        n_requests=args.requests,
+        universe_pages=args.universe_pages,
+        read_ratio=0.6,
+        seed=0,
+        name="faults-uniform",
+    )
+    cells = [
+        faults_cell(
+            args.policy,
+            trace,
+            args.cache_pages,
+            ure_rate=rate,
+            timeout_rate=timeout_rate,
+            retry=retry,
+        )
+        for rate in _parse_rates(args.rates, "--rates")
+        for timeout_rate in _parse_rates(args.timeout_rates, "--timeout-rates")
+        for retry in retries
+    ]
+    engine = SweepEngine(
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        force=args.force,
+        progress=_print_progress if args.progress else None,
+    )
+    start = time.time()
+    result = engine.run(cells)
+    print(render_table(list(result.rows)))
+    print(f"({len(cells)} cells in {time.time() - start:.1f}s, "
+          f"jobs={args.jobs})")
+    if args.events_out:
+        events = demo_event_log()
+        with open(args.events_out, "w") as fh:
+            json.dump(events, fh, indent=2)
+        print(f"wrote {len(events)} demo events to {args.events_out}")
+    return 0
 
 
 def _simulate_command(args) -> int:

@@ -14,7 +14,13 @@ from .parity import (
 from .array import DiskOp, OpKind, RaidCounters, RAIDArray
 from .layout import PageLocation, RaidLayout, RaidLevel
 from .logstructured import LogStructuredRaid
-from .rebuild import RebuildReport, rebuild_disk, resync_stale_parity
+from .rebuild import (
+    RebuildReport,
+    finish_rebuild,
+    iter_rebuild_ops,
+    rebuild_disk,
+    resync_stale_parity,
+)
 from .smallwrite import AfraidRaid, ParityLoggingRaid, SmallWriteCounters
 from .tiered import TierCounters, TieredRaid
 
@@ -41,6 +47,8 @@ __all__ = [
     "RaidCounters",
     "RAIDArray",
     "RebuildReport",
+    "finish_rebuild",
+    "iter_rebuild_ops",
     "rebuild_disk",
     "resync_stale_parity",
     "AfraidRaid",

@@ -103,6 +103,9 @@ class RAIDArray:
         self.failed_disks: set[int] = set()
         #: Stripes whose parity is stale because of write_without_parity_update.
         self.stale_stripes: set[int] = set()
+        #: Member pages hit by a latent sector error: unreadable until a
+        #: scrub/repair rewrites them.  Keyed ``(disk, disk_page)``.
+        self.media_errors: set[tuple[int, int]] = set()
         self._store = store_data
         # disk -> disk_page -> page bytes (uint8 arrays); parity included.
         self._disk_data: list[dict[int, np.ndarray]] | None = (
@@ -185,6 +188,9 @@ class RAIDArray:
                 f"{len(self.failed_disks)} failures exceed "
                 f"{self.level.name} tolerance of {self.layout.fault_tolerance}"
             )
+        # Latent sector errors on a lost member are subsumed by the loss
+        # (the rebuild rewrites every page of the replacement disk).
+        self.media_errors = {k for k in self.media_errors if k[0] != disk}
         if self._disk_data is not None:
             self._disk_data[disk] = {}
 
@@ -192,46 +198,154 @@ class RAIDArray:
     def degraded(self) -> bool:
         return bool(self.failed_disks)
 
+    # -- media errors (latent sector faults, repro.faults) ----------------------
+
+    def mark_media_error(self, disk: int, disk_page: int) -> None:
+        """Record a latent sector error: this member page is unreadable.
+
+        The payload bytes are deliberately *kept* in store_data mode: a
+        media error gates the host read path only, while parity repair
+        still works — under KDD the cleaner repairs parity from cached
+        deltas (read-modify-write on the parity unit) without ever
+        reading the failed sector, and the payload-mode parity recompute
+        stands in for exactly that delta path (see DESIGN.md).
+        """
+        if not 0 <= disk < self.ndisks:
+            raise ConfigError(f"no such disk {disk}")
+        pages = self.layout.pages_per_disk
+        if disk_page < 0 or (pages is not None and disk_page >= pages):
+            raise ConfigError(f"disk page {disk_page} out of range")
+        self.media_errors.add((disk, disk_page))
+
+    def page_readable(self, disk: int, disk_page: int) -> bool:
+        """Whether a direct read of one member page can succeed."""
+        return (
+            disk not in self.failed_disks
+            and (disk, disk_page) not in self.media_errors
+        )
+
+    def member_page_role(self, disk: int, disk_page: int) -> tuple[int, OpKind]:
+        """``(stripe, unit kind)`` of one member page."""
+        stripe = disk_page // self.layout.chunk_pages
+        if disk == self.layout.parity_disk(stripe):
+            return stripe, OpKind.PARITY
+        if disk == self.layout.q_disk(stripe):
+            return stripe, OpKind.Q_PARITY
+        return stripe, OpKind.DATA
+
+    def reconstruct_read_ops(self, disk: int, disk_page: int) -> list[DiskOp]:
+        """Member reads that reconstruct one unreadable member page.
+
+        For a data unit this is the classic degraded read (surviving
+        peers + parity) and **fails loudly** with :class:`DegradedError`
+        while the stripe's parity is stale — the executable form of the
+        paper's vulnerability-window argument.  For a parity unit it is
+        the data chunks at the same offset.  Ops are *not* accounted;
+        the caller decides (repair vs. timing-only reconstruction).
+        """
+        if self.level is RaidLevel.RAID0:
+            raise DegradedError("RAID-0 cannot reconstruct a lost page")
+        stripe, kind = self.member_page_role(disk, disk_page)
+        offset = disk_page - stripe * self.layout.chunk_pages
+        if self.level is RaidLevel.RAID1:
+            for mirror in range(self.ndisks):
+                if mirror != disk and self.page_readable(mirror, disk_page):
+                    return [DiskOp(mirror, disk_page, 1, True)]
+            raise DegradedError("no readable mirror left")
+        if kind is not OpKind.DATA:
+            # rebuild parity from the data chunks at this offset
+            ops = []
+            for _lpage, loc in self._data_locations_at_offset(stripe, offset):
+                if not self.page_readable(loc.disk, loc.disk_page):
+                    raise DegradedError(
+                        f"data page ({loc.disk},{loc.disk_page}) also "
+                        f"unreadable while rebuilding parity of stripe {stripe}"
+                    )
+                ops.append(DiskOp(loc.disk, loc.disk_page, 1, True))
+            return ops
+        if stripe in self.stale_stripes:
+            raise DegradedError(
+                f"stripe {stripe} has stale parity; page ({disk},{disk_page}) "
+                "cannot be reconstructed until the cleaner repairs parity "
+                "(the vulnerability window the paper closes)"
+            )
+        ops = []
+        for _lpage, other in self._data_locations_at_offset(stripe, offset):
+            if other.disk == disk:
+                continue
+            if not self.page_readable(other.disk, other.disk_page):
+                if self.level is RaidLevel.RAID5:
+                    raise DegradedError(
+                        f"double failure in stripe {stripe}: peer "
+                        f"({other.disk},{other.disk_page}) also unreadable"
+                    )
+                continue  # RAID-6: second loss handled via Q
+            ops.append(DiskOp(other.disk, other.disk_page, 1, True))
+        for pdisk, ppage, pkind in self._stripe_parity_locations(stripe, offset):
+            if not self.page_readable(pdisk, ppage):
+                if self.level is RaidLevel.RAID5:
+                    raise DegradedError(
+                        f"stripe {stripe}: parity ({pdisk},{ppage}) unreadable "
+                        "alongside the data page — double failure"
+                    )
+                continue
+            ops.append(DiskOp(pdisk, ppage, 1, True, pkind))
+        return ops
+
+    def repair_page(self, disk: int, disk_page: int) -> list[DiskOp]:
+        """Reconstruct one media-errored member page and rewrite it.
+
+        Returns the member ops performed (peer reads + one write),
+        accounted in :attr:`counters`.  No-op for pages without a
+        recorded media error.  Raises :class:`DegradedError` when the
+        page is a data unit of a stale-parity stripe; repair the parity
+        first (``parity_update`` / the cleaner), then retry.
+        """
+        key = (disk, disk_page)
+        if disk in self.failed_disks:
+            raise RaidError(
+                "repair_page repairs latent sector errors; a failed member "
+                "is rebuilt with rebuild_disk"
+            )
+        if key not in self.media_errors:
+            return []
+        stripe, kind = self.member_page_role(disk, disk_page)
+        ops = self.reconstruct_read_ops(disk, disk_page)
+        ops.append(DiskOp(disk, disk_page, 1, False, kind))
+        if self._disk_data is not None:
+            offset = disk_page - stripe * self.layout.chunk_pages
+            if kind is OpKind.DATA:
+                for lpage, loc in self._data_locations_at_offset(stripe, offset):
+                    if loc.disk == disk:
+                        payload = self._reconstruct_payload(lpage, loc)
+                        self.media_errors.discard(key)
+                        self._put_disk_page(disk, disk_page, payload)
+                        break
+            else:
+                self.media_errors.discard(key)
+                self._recompute_parity_at(stripe, offset)
+        self.media_errors.discard(key)
+        self.counters.account(ops)
+        return ops
+
     # -- reads ---------------------------------------------------------------
 
     def read(self, lpage: int, npages: int = 1) -> list[DiskOp]:
-        """Read logical pages, reconstructing through parity if degraded."""
+        """Read logical pages, reconstructing through parity if degraded.
+
+        A page is served degraded both when its member disk failed and
+        when the page itself carries a latent sector error
+        (:meth:`mark_media_error`).
+        """
         self._check_lpage(lpage, npages)
         ops: list[DiskOp] = []
         for page in range(lpage, lpage + npages):
             loc = self.layout.locate(page)
-            if loc.disk not in self.failed_disks:
+            if self.page_readable(loc.disk, loc.disk_page):
                 ops.append(DiskOp(loc.disk, loc.disk_page, 1, True))
                 continue
-            ops.extend(self._degraded_read_ops(page, loc))
+            ops.extend(self.reconstruct_read_ops(loc.disk, loc.disk_page))
         self.counters.account(ops)
-        return ops
-
-    def _degraded_read_ops(self, lpage: int, loc: PageLocation) -> list[DiskOp]:
-        if self.level in (RaidLevel.RAID0,):
-            raise DegradedError("RAID-0 cannot serve reads from a failed disk")
-        if self.level is RaidLevel.RAID1:
-            for mirror in range(self.ndisks):
-                if mirror not in self.failed_disks:
-                    return [DiskOp(mirror, loc.disk_page, 1, True)]
-            raise DegradedError("all mirrors failed")
-        if loc.stripe in self.stale_stripes:
-            raise DegradedError(
-                f"stripe {loc.stripe} has stale parity; cannot reconstruct "
-                "(this is the vulnerability window the paper closes)"
-            )
-        offset = loc.disk_page - loc.stripe * self.layout.chunk_pages
-        ops = []
-        for _lpage, other in self._data_locations_at_offset(loc.stripe, offset):
-            if other.disk == loc.disk:
-                continue
-            if other.disk in self.failed_disks:
-                continue  # second failure handled via Q below (RAID-6)
-            ops.append(DiskOp(other.disk, other.disk_page, 1, True))
-        for disk, page, kind in self._stripe_parity_locations(loc.stripe, offset):
-            if disk in self.failed_disks:
-                continue
-            ops.append(DiskOp(disk, page, 1, True, kind))
         return ops
 
     def read_data(self, lpage: int) -> np.ndarray:
@@ -240,16 +354,16 @@ class RAIDArray:
             raise ConfigError("array was created with store_data=False")
         self._check_lpage(lpage)
         loc = self.layout.locate(lpage)
-        if loc.disk not in self.failed_disks:
+        if self.page_readable(loc.disk, loc.disk_page):
             return self._get_disk_page(loc.disk, loc.disk_page)
         return self._reconstruct_payload(lpage, loc)
 
     def _reconstruct_payload(self, lpage: int, loc: PageLocation) -> np.ndarray:
         if self.level is RaidLevel.RAID1:
             for mirror in range(self.ndisks):
-                if mirror not in self.failed_disks:
+                if mirror != loc.disk and self.page_readable(mirror, loc.disk_page):
                     return self._get_disk_page(mirror, loc.disk_page)
-            raise DegradedError("all mirrors failed")
+            raise DegradedError("no readable mirror left")
         if self.level is RaidLevel.RAID0:
             raise DegradedError("RAID-0 data is unrecoverable")
         if loc.stripe in self.stale_stripes:
@@ -259,12 +373,17 @@ class RAIDArray:
         for _lpage, other in self._data_locations_at_offset(loc.stripe, offset):
             if other.disk == loc.disk:
                 continue
-            if other.disk in self.failed_disks:
+            if not self.page_readable(other.disk, other.disk_page):
                 raise DegradedError("double data failure needs RAID-6 decode")
             blocks.append(self._get_disk_page(other.disk, other.disk_page))
         p_disk = self.layout.parity_disk(loc.stripe)
         assert p_disk is not None
         parity_page = self.layout.parity_page(loc.stripe, lpage)
+        if not self.page_readable(p_disk, parity_page):
+            raise DegradedError(
+                f"parity ({p_disk},{parity_page}) unreadable alongside the "
+                "data page — double failure"
+            )
         blocks.append(self._get_disk_page(p_disk, parity_page))
         return xor_blocks(blocks)
 

@@ -72,6 +72,16 @@ class TimedSystem:
 
     # -- scheduling helpers -------------------------------------------------
 
+    def _serve_ssd(self, npages: int, is_read: bool, earliest: float) -> float:
+        """Serve one SSD command; returns its finish time.
+
+        Overridable: the fault layer (:mod:`repro.faults.timed`) inspects
+        the typed :class:`~repro.sim.devices.ServiceWindow` outcome here.
+        """
+        if is_read:
+            return self.ssd.serve_read(npages, earliest).finish
+        return self.ssd.serve_write(npages, earliest).finish
+
     def _schedule_disk_phases(self, ops: list[DiskOp], earliest: float) -> float:
         """Reads in parallel, then writes in parallel; returns finish time."""
         reads = [op for op in ops if op.is_read]
@@ -89,7 +99,7 @@ class TimedSystem:
     def _schedule_background(self, out: Outcome, after: float) -> None:
         """Asynchronous work occupies devices but nobody waits on it."""
         if out.bg_ssd_writes:
-            self.ssd.serve_write(out.bg_ssd_writes, after)
+            self._serve_ssd(out.bg_ssd_writes, False, after)
         if out.bg_disk_ops:
             self._schedule_disk_phases(out.bg_disk_ops, after)
 
@@ -104,7 +114,7 @@ class TimedSystem:
             out = self.policy.access(page, is_read)
             page_done = arrival
             if out.fg_ssd_reads:
-                page_done = self.ssd.serve_read(out.fg_ssd_reads, arrival).finish
+                page_done = self._serve_ssd(out.fg_ssd_reads, True, arrival)
             if out.fg_compute:
                 page_done += out.fg_compute
             if out.fg_disk_ops:

@@ -1,0 +1,16 @@
+"""Shared test configuration: hypothesis profiles.
+
+The ``ci`` profile derandomizes hypothesis so the failure-injection
+property tests explore the same example sequence on every run — the
+same discipline the simulator itself follows (seeded streams, no wall
+clock).  Select it with ``HYPOTHESIS_PROFILE=ci`` (the CI workflow
+does); the default profile keeps local runs exploratory.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, print_blob=True,
+                          deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -11,6 +11,7 @@ the full recovery contract each time:
 * disk loss at any point after parity repair -> all data reconstructs.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -126,3 +127,48 @@ def test_recovery_after_forced_cleaning(ops, data):
         kdd.access(lba, is_read)
     state = recover_from_power_failure(kdd)
     verify_recovery(kdd, state)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    writes=st.lists(st.integers(0, 30), min_size=3, max_size=60),
+    data=st.data(),
+)
+def test_media_error_cut_reconstructs_or_degrades_exactly_when_stale(
+        writes, data):
+    """A latent sector error (URE) struck at an arbitrary point in a KDD
+    run either reconstructs the exact acknowledged payload, or raises
+    DegradedError precisely when the victim's stripe has stale parity —
+    never a wrong payload, never a spurious failure.  After the cleaner
+    repairs parity, the same read must succeed with the right bytes."""
+    from repro.errors import DegradedError
+
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=1024, page_size=128, store_data=True)
+    path = KDDDataPath(raid=raid, cache_pages=24, ways=8, page_size=128,
+                       dirty_limit=0.5)
+    content = ContentWorkload(31, change_fraction=0.15, page_size=128,
+                              seed=13)
+    cut = data.draw(st.integers(1, len(writes)))
+    latest: dict[int, bytes] = {}
+    for lba in writes[:cut]:
+        payload = content.next_version(lba)
+        path.write(lba, payload)
+        latest[lba] = payload
+    # The URE strikes the array copy of one acknowledged write.
+    victim_lba = data.draw(st.sampled_from(sorted(latest)))
+    loc = raid.layout.locate(victim_lba)
+    raid.mark_media_error(loc.disk, loc.disk_page)
+    stale = raid.layout.stripe_of(victim_lba) in raid.stale_stripes
+    if stale:
+        # Inside the vulnerability window: the read must fail loudly.
+        with pytest.raises(DegradedError):
+            raid.read_data(victim_lba)
+    else:
+        assert bytes(raid.read_data(victim_lba)) == latest[victim_lba]
+    # The cleaner (here: a full resync) closes the window; every
+    # acknowledged payload is reconstructable again.
+    resync_stale_parity(raid)
+    assert bytes(raid.read_data(victim_lba)) == latest[victim_lba]
+    raid.repair_page(loc.disk, loc.disk_page)
+    assert not raid.media_errors

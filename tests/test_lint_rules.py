@@ -33,8 +33,8 @@ def codes(src, relpath="core/mod.py", **kwargs):
 # ---------------------------------------------------------------- registry
 
 
-def test_registry_has_all_seven_rules():
-    assert sorted(REGISTRY) == [f"RPR00{i}" for i in range(1, 8)]
+def test_registry_has_all_eight_rules():
+    assert sorted(REGISTRY) == [f"RPR00{i}" for i in range(1, 9)]
 
 
 def test_rule_metadata_is_complete():
@@ -288,6 +288,57 @@ def test_rpr007_triggers(snippet):
 )
 def test_rpr007_clean(snippet):
     assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------- RPR008
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "try:\n    f()\nexcept Exception:\n    pass\n",
+        "try:\n    f()\nexcept Exception as exc:\n    log(exc)\n",
+        "try:\n    f()\nexcept BaseException:\n    cleanup()\n",
+        "try:\n    f()\nexcept:\n    pass\n",
+        "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n",
+        # a raise inside a nested function does not execute in the handler
+        "try:\n    f()\nexcept Exception:\n    def g():\n        raise\n",
+    ],
+)
+def test_rpr008_triggers(snippet):
+    got = codes(snippet)
+    assert "RPR008" in got
+    assert [c for c in got if c != "RPR003"] == ["RPR008"]
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        # the ResultCache.put idiom: catch everything, clean up, re-raise
+        "try:\n    f()\nexcept BaseException:\n    cleanup()\n    raise\n",
+        # conversion into the taxonomy counts as re-raising
+        "from repro.errors import SimulationError\n"
+        "try:\n    f()\nexcept Exception as exc:\n"
+        "    raise SimulationError('boom') from exc\n",
+        # conditional re-raise deeper in the handler body still counts
+        "try:\n    f()\nexcept Exception as exc:\n"
+        "    if fatal(exc):\n        raise\n",
+        # specific builtins and taxonomy classes are fine without a raise
+        "try:\n    f()\nexcept OSError:\n    pass\n",
+        "from repro.errors import ReproError\n"
+        "try:\n    f()\nexcept ReproError:\n    pass\n",
+        "try:\n    f()\nexcept (ValueError, KeyError):\n    pass\n",
+    ],
+)
+def test_rpr008_clean(snippet):
+    assert "RPR008" not in codes(snippet)
+
+
+def test_rpr008_fires_everywhere_in_the_library():
+    snippet = "try:\n    f()\nexcept Exception:\n    pass\n"
+    for where in ("harness/sweep.py", "devtools/lint/engine.py",
+                  "faults/timed.py", "traces/trace.py"):
+        assert "RPR008" in codes(snippet, relpath=where), where
 
 
 # ---------------------------------------------------------------- suppressions

@@ -156,7 +156,7 @@ class TestHddFailure:
     def test_rebuild_reads_survivors(self):
         kdd, raid = make_system()
         kdd.write(0)
-        report = recover_from_hdd_failure(kdd, 0)
+        report = recover_from_hdd_failure(kdd, 0, keep_ops=True)
         reads = [op for op in report.disk_ops if op.is_read]
         writes = [op for op in report.disk_ops if not op.is_read]
         assert reads and writes
