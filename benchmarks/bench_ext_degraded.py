@@ -7,6 +7,11 @@ smaller resync window (it can repair parity any time from cache state,
 and its failure mode needs no full-array scrub) keeps the interference
 short.  This bench measures foreground latency with and without
 resync traffic sharing the disks.
+
+The resync batches ride ``TimedSystem.inject_disk_ops``, which the
+engine schedules at background priority (tag ``inject``) — under the
+default FCFS discipline that is pure contention, exactly as before the
+engine refactor; a ``PriorityFCFS`` discipline would throttle it.
 """
 
 import heapq

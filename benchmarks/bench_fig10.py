@@ -1,4 +1,8 @@
-"""Bench: Figure 10 — average response time under the FIO zipf benchmark."""
+"""Bench: Figure 10 — average response time under the FIO zipf benchmark.
+
+The closed-loop driver owns the thread-availability heap; all device
+timing comes from the discrete-event engine (``repro.engine``).
+"""
 
 from repro.harness.figures import fig10
 

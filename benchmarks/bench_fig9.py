@@ -1,4 +1,9 @@
-"""Bench: Figure 9 — average response time, open-loop trace replay."""
+"""Bench: Figure 9 — average response time, open-loop trace replay.
+
+Runs on the discrete-event engine (``repro.engine``) through the
+``replay`` sweep cells; reported IOPS covers queue drain past the last
+arrival (the open-loop duration fix).
+"""
 
 from repro.harness.figures import fig9
 

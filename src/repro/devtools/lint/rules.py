@@ -17,6 +17,7 @@ RPR005      float ``==`` / ``!=`` comparisons in stats/ and sim/
 RPR006      mutable default arguments
 RPR007      arithmetic mixing ``*_bytes`` and ``*_pages`` quantities
 RPR008      naked ``except Exception`` swallowing the error taxonomy
+RPR009      simulated-clock arithmetic outside ``repro/engine/``
 ==========  ===========================================================
 """
 
@@ -29,10 +30,14 @@ from ...errors import ConfigError
 
 #: Module directories (relative to the ``repro`` package root) that
 #: hold *simulation* code, where wall-clock time is banned outright.
-SIM_DIRS = ("sim", "cache", "raid", "core", "flash", "delta", "nvram", "faults")
+SIM_DIRS = ("sim", "cache", "raid", "core", "flash", "delta", "nvram", "faults",
+            "engine")
 
 #: Directories where exact float comparison is flagged (RPR005).
-FLOAT_EQ_DIRS = ("stats", "sim")
+FLOAT_EQ_DIRS = ("stats", "sim", "engine")
+
+#: The one directory allowed to advance simulated time (RPR009).
+ENGINE_DIRS = ("engine",)
 
 #: The measurement harness drives real processes and may read the wall
 #: clock for operator-facing progress output; it is allowlisted from
@@ -562,4 +567,69 @@ class BroadExcept(Rule):
                 f"{what} swallows the error silently; catch a repro.errors "
                 "class (ReproError subclass) or re-raise",
             )
+        self.generic_visit(node)
+
+
+def _mentions_clock_state(node: ast.expr) -> str | None:
+    """Name of the simulated-clock state ``node`` touches, if any."""
+    if isinstance(node, ast.Attribute) and node.attr == "busy_until":
+        return ".busy_until"
+    if isinstance(node, ast.Name) and node.id == "earliest":
+        return "earliest"
+    return None
+
+
+@register
+class ClockArithmetic(Rule):
+    code = "RPR009"
+    name = "clock-arithmetic"
+    summary = (
+        "Simulated time advances only inside repro.engine: mutating a "
+        "device's busy_until clock or computing start times with "
+        "max(earliest, ...) elsewhere re-creates the ad-hoc scheduling "
+        "the engine replaced and silently forks the timing model.  Serve "
+        "operations through an engine resource instead."
+    )
+
+    @classmethod
+    def applies_to(cls, relpath: str) -> bool:
+        return not _in_dirs(relpath, ENGINE_DIRS)
+
+    def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Attribute) and target.attr == "busy_until":
+            self.report(
+                target,
+                "direct mutation of a device busy_until clock outside "
+                "repro/engine/; device timing belongs to the engine's "
+                "resources",
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                self._check_target(el)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "max":
+            for arg in node.args:
+                what = _mentions_clock_state(arg)
+                if what is not None:
+                    self.report(
+                        node,
+                        f"max({what}, ...) start-time arithmetic outside "
+                        "repro/engine/; queue-discipline decisions belong "
+                        "to the engine's resources",
+                    )
+                    break
         self.generic_visit(node)

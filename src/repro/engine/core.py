@@ -1,0 +1,175 @@
+"""Event core of the discrete-event simulation engine.
+
+Everything that advances simulated time in this repository lives in
+:mod:`repro.engine` (enforced by kdd-lint rule RPR009).  This module
+holds the two primitives the rest of the engine builds on:
+
+* :class:`EventLoop` — a deterministic event heap.  Events are ordered
+  by ``(time, seq)`` where ``seq`` is a monotonically increasing
+  sequence number assigned at scheduling time, so equal-time events pop
+  in scheduling order — never in hash or identity order.  There is no
+  wall clock anywhere: ``now`` only moves when an event is popped.
+* :class:`OpRecord` — the typed record of one device operation (who,
+  what, when queued, when started, when finished, what went wrong).
+  Resources emit one per serve; the instrumentation hook aggregates
+  them into op traces, queue-delay summaries, utilisation timelines and
+  queue-depth histograms.
+
+The loop is intentionally small: workload drivers (open-loop replay,
+closed-loop threads, rebuild batches) are *sources* that schedule
+events; device timing is the resources' job
+(:mod:`repro.engine.resources`); cross-cutting behaviour (faults,
+instrumentation) hangs off the hook protocol
+(:mod:`repro.engine.hooks`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ConfigError, SimulationError
+
+
+class Priority(Enum):
+    """Service class of a device operation.
+
+    ``FOREGROUND`` is work a request waits on; ``BACKGROUND`` is
+    asynchronous work (read fills, cleaning, rebuild, repair traffic).
+    The FCFS discipline ignores the class (every op queues in arrival
+    order); the priority discipline defers background service so
+    foreground requests never wait behind *queued* background work.
+    """
+
+    FOREGROUND = "fg"
+    BACKGROUND = "bg"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One device operation, fully resolved.
+
+    ``submitted`` is when the op arrived at the resource (the earliest
+    it could have started); ``queue_delay = start - submitted`` is time
+    spent waiting for the device.  ``fault`` is the residual fault kind
+    value (``"ure"``/``"timeout"``) or ``None``; ``fault_latency`` is
+    stall + backoff time already included in ``finish``.
+    """
+
+    op_id: int
+    device: str
+    kind: str  # "read" | "write"
+    npages: int
+    priority: str  # Priority.value
+    tag: str  # request phase: "fg", "bg", "reconstruct", "repair", "inject", ...
+    submitted: float
+    start: float
+    finish: float
+    fault: str | None = None
+    retries: int = 0
+    fault_latency: float = 0.0
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start - self.submitted
+
+    @property
+    def service(self) -> float:
+        return self.finish - self.start
+
+    def row(self) -> dict[str, object]:
+        """JSON-ready dict (the op-trace JSONL line)."""
+        return {
+            "op": self.op_id,
+            "device": self.device,
+            "kind": self.kind,
+            "npages": self.npages,
+            "priority": self.priority,
+            "tag": self.tag,
+            "submitted": self.submitted,
+            "start": self.start,
+            "finish": self.finish,
+            "queue_delay": self.queue_delay,
+            "fault": self.fault,
+            "retries": self.retries,
+            "fault_latency": self.fault_latency,
+        }
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One foreground request, as the workload source submitted it."""
+
+    lba: int
+    npages: int
+    is_read: bool
+    arrival: float
+    completion: float
+
+    @property
+    def response_time(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence.  Orders by ``(time, seq)`` only."""
+
+    time: float
+    seq: int
+    action: Callable[[float], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventLoop:
+    """Deterministic event heap; the only thing that moves ``now``.
+
+    ``now`` is monotone: popping an event with a timestamp behind the
+    current clock (a source handing over late work, e.g. a rebuild
+    batch injected while the foreground ran ahead) keeps ``now`` where
+    it is — the action still sees its scheduled time as argument.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.processed = 0
+
+    def schedule(self, time: float, action: Callable[[float], None],
+                 label: str = "") -> Event:
+        """Schedule ``action(time)`` at ``time``; ties pop in FIFO order."""
+        if time < 0:
+            raise ConfigError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Pop and run the earliest event; False when the heap is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.now = max(self.now, event.time)
+        self.processed += 1
+        event.action(event.time)
+        return True
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the heap drains; returns the number of events run."""
+        ran = 0
+        while self._heap:
+            if max_events is not None and ran >= max_events:
+                raise SimulationError(
+                    f"event loop exceeded {max_events} events; "
+                    "a source is rescheduling itself unboundedly"
+                )
+            self.step()
+            ran += 1
+        return ran

@@ -1,0 +1,269 @@
+"""The simulation engine: one request pipeline over events + resources.
+
+:class:`SimEngine` is the single place simulated time advances (rule
+RPR009).  Workload drivers (:mod:`repro.sim.openloop`,
+:mod:`repro.sim.closedloop`, :func:`repro.faults.timed.rebuild_under_load`)
+are *sources*: they decide what to submit and when, the engine resolves
+when it finishes.  Cross-cutting behaviour — fault escalation,
+instrumentation — hangs off the hook stack (:mod:`repro.engine.hooks`).
+
+Request semantics (Section IV-B of the paper, unchanged from the
+pre-engine implementation):
+
+* a request is interpreted page by page by the cache policy; each
+  page's outcome contributes foreground SSD reads, foreground compute
+  (delta compression CPU), and foreground RAID member ops;
+* member *reads* proceed in parallel across disks, member *writes*
+  start only after the reads finish — the two phases of a
+  read-modify-write;
+* foreground compute precedes the disk ops that depend on its result
+  (the delta must be compressed before it can be written), so dependent
+  member ops are submitted at ``arrival + fg_compute``;
+* writes are acknowledged only after their RAID member writes complete
+  (the paper's RPO=0 consistency rule); asynchronous work (read fills,
+  delta/metadata commits, cleaning I/O) starts once the request
+  finished and occupies the devices — delaying later requests, but not
+  the request that caused it.
+
+Events enter a deterministic heap (:class:`~repro.engine.core.EventLoop`)
+and are resolved with lookahead: handling a request event resolves all
+of its device acquisitions inline against the resource clocks, which
+implements FCFS-family disciplines exactly because sources submit in
+global arrival order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..cache.base import CachePolicy, Outcome
+from ..disk.hdd import HDDParams
+from ..errors import ConfigError
+from ..flash.device import SSDLatency
+from ..raid.array import DiskOp
+from ..stats.latency import LatencyRecorder
+from .core import EventLoop, Priority, RequestRecord
+from .hooks import EngineHook, MemberReadHandler
+from .resources import (
+    DiskResource,
+    QueueDiscipline,
+    Resource,
+    ServiceWindow,
+    SSDResource,
+)
+
+
+class SimEngine:
+    """Discrete-event engine scheduling one policy's device operations."""
+
+    def __init__(
+        self,
+        policy: CachePolicy,
+        hdd_params: HDDParams | None = None,
+        ssd_latency: SSDLatency | None = None,
+        ssd_channels: int = 8,
+        discipline: QueueDiscipline | None = None,
+    ) -> None:
+        self.policy = policy
+        self.loop = EventLoop()
+        page_size = policy.config.page_size
+        self.disks = [
+            DiskResource(hdd_params, page_size, name=f"disk{i}",
+                         discipline=discipline)
+            for i in range(policy.raid.ndisks)
+        ]
+        self.ssd = SSDResource(ssd_latency, channels=ssd_channels,
+                               discipline=discipline)
+        self.recorder = LatencyRecorder()
+        self.hooks: list[EngineHook] = []
+        self._member_read: MemberReadHandler = self._base_member_read
+        self._next_op_id = 0
+        for resource in self.resources():
+            resource.use_op_ids(self._alloc_op_id)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _alloc_op_id(self) -> int:
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        return op_id
+
+    def resources(self) -> Iterator[Resource]:
+        yield from self.disks
+        yield self.ssd
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def add_hook(self, hook: EngineHook) -> None:
+        """Install ``hook`` and rebuild the member-read middleware chain.
+
+        The first hook added wraps closest to the device; later hooks
+        wrap around earlier ones.
+        """
+        self.hooks.append(hook)
+        hook.install(self)
+        handler: MemberReadHandler = self._base_member_read
+        for h in self.hooks:
+            handler = h.wrap_member_read(self, handler)
+        self._member_read = handler
+
+    # -- device service ------------------------------------------------------
+
+    def _base_member_read(self, op: DiskOp, earliest: float,
+                          priority: Priority, tag: str) -> ServiceWindow:
+        return self.disks[op.disk].serve(op.disk_page, op.npages, True,
+                                         earliest, priority, tag)
+
+    def serve_ssd(self, npages: int, is_read: bool, earliest: float,
+                  priority: Priority = Priority.FOREGROUND,
+                  tag: str = "fg") -> float:
+        """Serve one SSD command; returns its finish time."""
+        if is_read:
+            window = self.ssd.serve_read(npages, earliest, priority, tag)
+        else:
+            window = self.ssd.serve_write(npages, earliest, priority, tag)
+        for hook in self.hooks:
+            hook.on_ssd_window(self, window, npages, is_read)
+        return window.finish
+
+    def run_disk_phases(self, ops: Sequence[DiskOp], earliest: float,
+                        priority: Priority = Priority.FOREGROUND,
+                        tag: str = "fg") -> float:
+        """Reads in parallel, then writes in parallel; returns finish time.
+
+        Reads go through the member-read middleware chain (fault
+        escalation lives there); writes notify the hooks afterwards.
+        """
+        reads = [op for op in ops if op.is_read]
+        writes = [op for op in ops if not op.is_read]
+        phase1_done = earliest
+        for op in reads:
+            window = self._member_read(op, earliest, priority, tag)
+            phase1_done = max(phase1_done, window.finish)
+        done = phase1_done
+        for op in writes:
+            window = self.disks[op.disk].serve(op.disk_page, op.npages, False,
+                                               phase1_done, priority, tag)
+            for hook in self.hooks:
+                hook.on_member_write(self, op, window)
+            done = max(done, window.finish)
+        return done
+
+    def serve_plain_phases(
+        self, ops: Iterable[DiskOp], earliest: float,
+        priority: Priority = Priority.FOREGROUND, tag: str = "plain",
+    ) -> tuple[float, list[ServiceWindow]]:
+        """Two-phase service with *no* hook dispatch (nested traffic).
+
+        The fault pipeline serves its reconstruction / repair ops here
+        so they cannot recursively re-escalate or fire write hooks.
+        Returns the batch finish time and every service window (the
+        caller accounts retries).
+        """
+        reads = [op for op in ops if op.is_read]
+        writes = [op for op in ops if not op.is_read]
+        windows: list[ServiceWindow] = []
+        phase1_done = earliest
+        for op in reads:
+            window = self.disks[op.disk].serve(op.disk_page, op.npages, True,
+                                               earliest, priority, tag)
+            windows.append(window)
+            phase1_done = max(phase1_done, window.finish)
+        done = phase1_done
+        for op in writes:
+            window = self.disks[op.disk].serve(op.disk_page, op.npages, False,
+                                               phase1_done, priority, tag)
+            windows.append(window)
+            done = max(done, window.finish)
+        return done, windows
+
+    # -- the request pipeline ------------------------------------------------
+
+    def _handle_request(self, lba: int, npages: int, is_read: bool,
+                        arrival: float) -> float:
+        for hook in self.hooks:
+            hook.on_request(self, self.loop.now)
+        completion = arrival
+        backgrounds: list[Outcome] = []
+        for page in range(lba, lba + npages):
+            out = self.policy.access(page, is_read)
+            page_done = arrival
+            if out.fg_ssd_reads:
+                page_done = self.serve_ssd(out.fg_ssd_reads, True, arrival)
+            if out.fg_compute:
+                page_done += out.fg_compute
+            if out.fg_disk_ops:
+                # Compute (delta compression) precedes the member ops
+                # that consume its output, so they queue after it.
+                page_done = max(
+                    page_done,
+                    self.run_disk_phases(out.fg_disk_ops,
+                                         arrival + out.fg_compute),
+                )
+            completion = max(completion, page_done)
+            backgrounds.append(out)
+        # background work starts once the foreground finished
+        for out in backgrounds:
+            if out.bg_ssd_writes:
+                self.serve_ssd(out.bg_ssd_writes, False, completion,
+                               Priority.BACKGROUND, "bg")
+            if out.bg_disk_ops:
+                self.run_disk_phases(out.bg_disk_ops, completion,
+                                     Priority.BACKGROUND, "bg")
+        self.recorder.record(completion - arrival)
+        record = RequestRecord(lba=lba, npages=npages, is_read=is_read,
+                               arrival=arrival, completion=completion)
+        for hook in self.hooks:
+            hook.on_request_done(self, record)
+        return completion
+
+    def submit(self, lba: int, npages: int, is_read: bool,
+               arrival: float) -> float:
+        """Process one foreground request; returns its completion time."""
+        if arrival < 0:
+            raise ConfigError("arrival time must be >= 0")
+        results: list[float] = []
+
+        def fire(at: float) -> None:
+            results.append(self._handle_request(lba, npages, is_read, at))
+
+        self.loop.schedule(arrival, fire, label=f"request lba={lba}")
+        self.loop.run()
+        return results[0]
+
+    def inject_disk_ops(self, ops: Sequence[DiskOp], at: float) -> float:
+        """Schedule external member I/O (e.g. rebuild traffic) at ``at``.
+
+        The ops occupy the disks and delay subsequent foreground
+        requests, exactly like a rebuild running under load.  They run
+        through the full hook pipeline (fault escalation applies) at
+        background priority.  Returns the injected batch's finish time.
+        """
+        if at < 0:
+            raise ConfigError("injection time must be >= 0")
+        results: list[float] = []
+
+        def fire(when: float) -> None:
+            results.append(self.run_disk_phases(ops, when,
+                                                Priority.BACKGROUND, "inject"))
+
+        self.loop.schedule(at, fire, label="inject")
+        self.loop.run()
+        return results[0]
+
+    def utilisation(self, duration: float) -> dict[str, float]:
+        """Per-device busy fractions over ``duration`` (bottleneck finder).
+
+        Busy time includes fault stalls and retry backoffs — a stalled
+        device is occupied, not idle.
+        """
+        if duration <= 0:
+            raise ConfigError("duration must be positive")
+        out = {
+            f"disk{i}": min(1.0, d.busy_time / duration)
+            for i, d in enumerate(self.disks)
+        }
+        out["ssd"] = min(1.0, self.ssd.busy_time / duration)
+        return out

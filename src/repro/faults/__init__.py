@@ -45,6 +45,7 @@ _LAZY = {
     "ScrubReport": "scrubber",
     "FAULTS_KEYS": "experiment",
     "demo_event_log": "experiment",
+    "demo_op_trace": "experiment",
     "faults_cell": "experiment",
     "run_faults_cell": "experiment",
 }
@@ -73,6 +74,7 @@ __all__ = [
     "ScrubReport",
     "Scrubber",
     "demo_event_log",
+    "demo_op_trace",
     "faults_cell",
     "rebuild_under_load",
     "retry_policy",

@@ -185,3 +185,46 @@ def demo_event_log() -> list[dict[str, Any]]:
                     victim.disk_page, detail="window closed; array consistent")
     assert not raid.media_errors and not raid.stale_stripes
     return schedule.event_rows()
+
+
+def demo_op_trace(
+    path: str,
+    requests: int = 300,
+    policy: str = "wt",
+    seed: int = 11,
+) -> dict[str, Any]:
+    """Run one derandomized fault-injected replay with op-level
+    instrumentation and write the per-op trace to ``path`` as JSONL.
+
+    Everything is seeded, so the exported trace is byte-identical across
+    runs — the CI op-trace artifact diffs meaningfully.  Returns the
+    instrumentation summary (op/request counts, per-device queue-delay
+    stats, queue-depth histograms, utilisation timeline) plus the fault
+    counters.
+    """
+    from ..cache.base import CacheConfig
+    from ..engine import InstrumentationHook
+    from ..harness.runner import build_policy
+    from ..sim.openloop import replay_trace
+    from ..traces import uniform_workload
+    from .timed import FaultyTimedSystem
+
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=4,
+                     pages_per_disk=4096)
+    system = FaultyTimedSystem(
+        build_policy(policy,
+                     CacheConfig(cache_pages=128, ways=16, group_pages=16),
+                     raid),
+        FaultConfig(seed=seed, ure_rate=0.01, timeout_rate=0.02),
+        retry="backoff",
+    )
+    instrument = InstrumentationHook()
+    system.add_hook(instrument)
+    trace = uniform_workload(requests, 4096, read_ratio=0.6, seed=seed)
+    rep = replay_trace(system, trace)
+    nops = instrument.write_jsonl(path)
+    summary = instrument.summary(duration=rep.duration)
+    summary["ops_written"] = nops
+    summary["mean_response_ms"] = rep.latency.mean_ms
+    summary["faults"] = system.fault_row()
+    return summary

@@ -1,33 +1,27 @@
 """Fault-aware timing simulation: degraded reads, escalation, rebuild.
 
-:class:`FaultyTimedSystem` extends the discrete-event
-:class:`~repro.sim.system.TimedSystem` with the full fault pipeline:
+:class:`FaultyTimedSystem` is a :class:`~repro.sim.system.TimedSystem`
+with the fault pipeline installed as an engine hook
+(:class:`~repro.engine.hooks.FaultPipelineHook`) — the subclass-override
+pattern of earlier versions is gone; the class only wires configuration
+and re-exposes the pipeline's state (``schedule``, ``counters``,
+``fault_row``) under the historical attribute names.
+
+Pipeline semantics (see the hook's docstring for the full story):
 
 * every member disk gets its own seeded
   :class:`~repro.faults.schedule.DeviceFaultStream` (``disk0`` …); the
-  SSD cache gets a timeout-only stream (``ssd`` — a cache-side media
-  error is a miss, not a data-loss hazard, because every write reached
-  RAID);
+  SSD cache gets a timeout-only stream (``ssd``);
 * devices absorb transient timeouts with the
-  :class:`~repro.faults.retry.RetryPolicy` (each retry stalls the
-  device and delays queued commands);
-* a *residual* fault escalates to the RAID layer: the page is read
-  degraded from its surviving stripe peers + parity
-  (:meth:`~repro.raid.array.RAIDArray.reconstruct_read_ops`), and a URE
-  additionally triggers a background repair rewrite;
-* a degraded read of a **stale-parity** stripe cannot be served — the
-  paper's vulnerability window.  With ``repair_stale_on_demand`` (the
-  default) the system first charges a parity repair
-  (``parity_update``), then reconstructs; with it off the
-  :class:`~repro.errors.DegradedError` propagates to the caller;
-* whole-device failures strike at their scheduled instants
-  (``FaultConfig.device_failures``) and flip the array into degraded
-  mode before the next request is interpreted.
-
-Model simplifications, stated honestly: a fault on a multi-page member
-op is attributed to the op's first page; faults drawn by the nested
-reconstruction / repair traffic add their stall latency but do not
-re-escalate (no recursive reconstruction).
+  :class:`~repro.faults.retry.RetryPolicy`;
+* a *residual* fault escalates to the RAID layer: degraded
+  reconstruction from the surviving stripe peers + parity, plus a
+  background repair rewrite after a URE;
+* a degraded read of a **stale-parity** stripe — the paper's
+  vulnerability window — is repaired on demand (default) or raises
+  :class:`~repro.errors.DegradedError`;
+* whole-device failures strike at their scheduled instants before the
+  next request is interpreted.
 
 :func:`rebuild_under_load` drives a member rebuild concurrently with a
 foreground trace — the classic degraded-mode experiment.
@@ -39,15 +33,14 @@ from collections.abc import Iterable, Iterator
 
 from ..cache.base import CachePolicy
 from ..disk.hdd import HDDParams
-from ..errors import ConfigError, DegradedError
+from ..engine.hooks import FaultPipelineHook
+from ..errors import ConfigError
 from ..flash.device import SSDLatency
-from ..raid.array import DiskOp
 from ..raid.rebuild import RebuildReport, finish_rebuild, iter_rebuild_ops
-from ..sim.devices import ServiceWindow
 from ..sim.system import TimedSystem
 from ..traces.record import IORequest
 from .retry import RetryPolicy, retry_policy
-from .schedule import FaultConfig, FaultCounters, FaultKind, FaultSchedule
+from .schedule import FaultConfig, FaultCounters, FaultSchedule
 
 
 class FaultyTimedSystem(TimedSystem):
@@ -65,193 +58,34 @@ class FaultyTimedSystem(TimedSystem):
     ) -> None:
         super().__init__(policy, hdd_params, ssd_latency, ssd_channels)
         if isinstance(faults, FaultSchedule):
-            self.schedule = faults
+            schedule = faults
         else:
-            self.schedule = FaultSchedule(faults or FaultConfig())
-        self.retry = retry if isinstance(retry, RetryPolicy) else retry_policy(retry)
-        self.repair_stale_on_demand = repair_stale_on_demand
-        self.counters = FaultCounters()
-        self._raid = policy.raid
-        for i, server in enumerate(self.disks):
-            server.faults = self.schedule.stream(f"disk{i}")
-            server.retry = self.retry
-        self.ssd.faults = self.schedule.stream("ssd", media_faults=False)
-        self.ssd.retry = self.retry
-        self._devices_failed: set[int] = set()
-
-    # -- whole-device failures ----------------------------------------------
-
-    def _strike_device_failures(self, now: float) -> None:
-        """Fail any member whose scheduled instant has passed, exactly once.
-
-        Runs *before* the policy interprets a request, so the array is
-        already degraded when it emits that request's member ops.
-        """
-        for disk, server in enumerate(self.disks):
-            stream = server.faults
-            if (
-                stream is None
-                or disk in self._devices_failed
-                or not stream.failed_by(now)
-            ):
-                continue
-            self._devices_failed.add(disk)
-            self.counters.device_failures += 1
-            self.schedule.record(
-                max(now, stream.fail_at or 0.0),
-                f"disk{disk}",
-                FaultKind.DEVICE_FAIL.value,
-                detail="scheduled whole-device failure",
-            )
-            self._raid.fail_disk(disk)
-
-    # -- fault-aware serving -------------------------------------------------
-
-    def _note_retries(self, window: ServiceWindow) -> None:
-        self.counters.retries += window.retries
-
-    def _serve_ssd(self, npages: int, is_read: bool, earliest: float) -> float:
-        """SSD commands only ever time out; the stall is the whole cost."""
-        if is_read:
-            window = self.ssd.serve_read(npages, earliest)
-        else:
-            window = self.ssd.serve_write(npages, earliest)
-        self._note_retries(window)
-        if window.fault is FaultKind.TIMEOUT:
-            self.counters.timeouts += 1
-            self.schedule.record(
-                window.finish, "ssd", FaultKind.TIMEOUT.value,
-                detail=f"retries exhausted ({window.retries}); waited out",
-            )
-        return window.finish
-
-    def _repair_stale_parity(self, stripe: int, device: str, now: float) -> float:
-        """Charge an on-demand parity repair for ``stripe``; returns finish."""
-        raid = self._raid
-        self.counters.stale_escalations += 1
-        self.schedule.record(
-            now, device, "stale_escalation",
-            detail=f"stripe {stripe} parity stale: repair before reconstruction",
+            schedule = FaultSchedule(faults or FaultConfig())
+        retry_obj = retry if isinstance(retry, RetryPolicy) else retry_policy(retry)
+        self._pipeline = FaultPipelineHook(
+            schedule, retry_obj, repair_stale_on_demand=repair_stale_on_demand
         )
-        repair_ops = raid.parity_update(
-            stripe, cached_pages=list(raid.layout.stripe_pages(stripe))
-        )
-        done = self._serve_plain(repair_ops, now)
-        self.counters.repairs += 1
-        self.schedule.record(done, device, "parity_repair",
-                             detail=f"stripe {stripe}")
-        return done
+        self.add_hook(self._pipeline)
+        self.schedule = schedule
+        self.retry = retry_obj
 
-    def _serve_plain(self, ops: Iterable[DiskOp], earliest: float) -> float:
-        """Serve member ops without escalation (nested repair traffic).
+    @property
+    def counters(self) -> FaultCounters:
+        return self._pipeline.counters
 
-        Fault draws still advance the streams and their stalls still
-        count, but residual faults here do not recurse.
-        """
-        reads = [op for op in ops if op.is_read]
-        writes = [op for op in ops if not op.is_read]
-        phase1_done = earliest
-        for op in reads:
-            w = self.disks[op.disk].serve(op.disk_page, op.npages, True, earliest)
-            self._note_retries(w)
-            phase1_done = max(phase1_done, w.finish)
-        done = phase1_done
-        for op in writes:
-            w = self.disks[op.disk].serve(op.disk_page, op.npages, False, phase1_done)
-            self._note_retries(w)
-            done = max(done, w.finish)
-        return done
+    @property
+    def repair_stale_on_demand(self) -> bool:
+        return self._pipeline.repair_stale_on_demand
 
-    def _reconstruction_ops(
-        self, op: DiskOp, now: float, device: str
-    ) -> tuple[float, list[DiskOp]]:
-        """Degraded-read plan for ``op``'s page, repairing stale parity
-        on demand; raises :class:`DegradedError` when reconstruction is
-        impossible (RAID-0, double failure, or stale parity with
-        ``repair_stale_on_demand=False``)."""
-        raid = self._raid
-        try:
-            return now, raid.reconstruct_read_ops(op.disk, op.disk_page)
-        except DegradedError:
-            stripe, _kind = raid.member_page_role(op.disk, op.disk_page)
-            if not (self.repair_stale_on_demand and stripe in raid.stale_stripes):
-                raise
-        done = self._repair_stale_parity(stripe, device, now)
-        return done, raid.reconstruct_read_ops(op.disk, op.disk_page)
-
-    def _serve_read_op(self, op: DiskOp, earliest: float) -> float:
-        """Serve one member read, escalating residual faults to RAID."""
-        window = self.disks[op.disk].serve(op.disk_page, op.npages, True, earliest)
-        self._note_retries(window)
-        if window.ok:
-            return window.finish
-        device = f"disk{op.disk}"
-        raid = self._raid
-        if window.fault is FaultKind.TIMEOUT:
-            self.counters.timeouts += 1
-            self.schedule.record(
-                window.finish, device, FaultKind.TIMEOUT.value, op.disk_page,
-                detail=f"retries exhausted ({window.retries})",
-            )
-            try:
-                now, recon = self._reconstruction_ops(op, window.finish, device)
-            except DegradedError:
-                # No redundancy to read around a transient stall: the
-                # command is simply waited out (the stall already counted).
-                return window.finish
-            done = self._serve_plain(recon, now)
-            self.counters.reconstructions += 1
-            return done
-        # Residual URE: the media is bad until repaired.
-        self.counters.ures += 1
-        self.schedule.record(window.finish, device, FaultKind.URE.value,
-                             op.disk_page)
-        raid.mark_media_error(op.disk, op.disk_page)
-        now, recon = self._reconstruction_ops(op, window.finish, device)
-        done = self._serve_plain(recon, now)
-        self.counters.reconstructions += 1
-        # Background repair: rewrite the reconstructed page.  The
-        # reconstruction reads were just served; only the write still
-        # needs device time, after the foreground read completes.
-        repair = raid.repair_page(op.disk, op.disk_page)
-        self._serve_plain([o for o in repair if not o.is_read], done)
-        self.counters.repairs += 1
-        self.schedule.record(done, device, "media_repair", op.disk_page)
-        return done
-
-    def _schedule_disk_phases(self, ops: list[DiskOp], earliest: float) -> float:
-        """Reads (fault-aware) in parallel, then writes in parallel."""
-        reads = [op for op in ops if op.is_read]
-        writes = [op for op in ops if not op.is_read]
-        phase1_done = earliest
-        for op in reads:
-            phase1_done = max(phase1_done, self._serve_read_op(op, earliest))
-        done = phase1_done
-        for op in writes:
-            w = self.disks[op.disk].serve(op.disk_page, op.npages, False, phase1_done)
-            self._note_retries(w)
-            if w.fault is not None:
-                # A write's residual fault is a stall, already in w.finish;
-                # the array would remap the sector on a real device.
-                self.counters.timeouts += 1
-                self.schedule.record(
-                    w.finish, f"disk{op.disk}", FaultKind.TIMEOUT.value,
-                    op.disk_page, detail="write stall (waited out)",
-                )
-            done = max(done, w.finish)
-        return done
-
-    def submit(self, lba: int, npages: int, is_read: bool, arrival: float) -> float:
-        self._strike_device_failures(max(self._clock, arrival))
-        return super().submit(lba, npages, is_read, arrival)
+    @repair_stale_on_demand.setter
+    def repair_stale_on_demand(self, value: bool) -> None:
+        self._pipeline.repair_stale_on_demand = value
 
     # -- results -------------------------------------------------------------
 
     def fault_row(self) -> dict[str, object]:
         """Counter + event summary for experiment result rows."""
-        row: dict[str, object] = dict(self.counters.row())
-        row["fault_events"] = len(self.schedule.events)
-        return row
+        return self._pipeline.fault_row()
 
 
 def rebuild_under_load(
@@ -268,6 +102,10 @@ def rebuild_under_load(
     mode experiment of every RAID paper.  Foreground reads of not-yet-
     rebuilt pages are served degraded by the array automatically (the
     member is failed until :func:`~repro.raid.rebuild.finish_rebuild`).
+
+    This driver is a workload *source*: it interleaves foreground
+    submissions with :meth:`TimedSystem.inject_disk_ops` batches; all
+    device timing is the engine's.
 
     Returns the rebuild report (count-only) and the time the rebuild
     finished.

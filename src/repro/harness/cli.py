@@ -111,6 +111,12 @@ def main(argv: list[str] | None = None) -> int:
         "(fresh-stripe URE reconstructs; stale-stripe URE degrades until "
         "the cleaner repairs parity) as JSON",
     )
+    faults.add_argument(
+        "--op-trace", default=None, metavar="PATH",
+        help="run one derandomized fault-injected replay with op-level "
+        "instrumentation and write the per-op trace (device, kind, "
+        "submitted/start/finish, queue delay, residual fault) as JSONL",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="run one policy over one workload and print the row"
@@ -212,7 +218,7 @@ def _parse_rates(text: str, what: str) -> list[float]:
 def _faults_command(args) -> int:
     import json
 
-    from ..faults import RETRY_POLICIES, demo_event_log, faults_cell
+    from ..faults import RETRY_POLICIES, demo_event_log, demo_op_trace, faults_cell
     from .report import render_table
     from .sweep import trace_desc
 
@@ -258,6 +264,11 @@ def _faults_command(args) -> int:
         with open(args.events_out, "w") as fh:
             json.dump(events, fh, indent=2)
         print(f"wrote {len(events)} demo events to {args.events_out}")
+    if args.op_trace:
+        summary = demo_op_trace(args.op_trace)
+        print(f"wrote {summary['ops_written']} op records to {args.op_trace} "
+              f"({summary['requests']} requests, "
+              f"mean {summary['mean_response_ms']:.3f} ms)")
     return 0
 
 

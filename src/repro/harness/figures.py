@@ -11,7 +11,10 @@ and submits them through the :class:`SweepEngine` (``engine=`` keyword),
 so each one gets process-pool parallelism, cell de-duplication and the
 on-disk result cache for free; with no engine given, a plain serial
 engine is used and the rows are identical to the historical inline
-loops.
+loops.  The timed cells (``replay`` / ``fio`` / ``faults``) execute on
+the discrete-event engine (:mod:`repro.engine`) via the
+``TimedSystem`` facades; ``tests/test_engine_equivalence.py`` pins
+their numerics to the pre-engine implementation.
 
 The index lives in DESIGN.md; EXPERIMENTS.md records paper-vs-measured.
 """

@@ -51,6 +51,10 @@ def run_closed_loop(system: TimedSystem, config: FioConfig) -> TimingReport:
     is_read = rng.random(config.total_requests) < config.read_rate
 
     # Each thread issues its next request when its previous one completes.
+    # This driver is a workload *source* over the engine: it owns the
+    # thread-availability heap (ties break by thread id, part of the
+    # pinned numerics) and submits in global arrival order; the engine
+    # owns all device timing.
     threads = [(0.0, tid) for tid in range(config.nthreads)]
     heapq.heapify(threads)
     end_time = 0.0

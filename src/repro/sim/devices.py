@@ -1,209 +1,19 @@
-"""FCFS device servers for the timing simulator.
+"""Back-compat aliases for the engine's device resources.
 
-Each member disk and the SSD cache are modelled as first-come
-first-served servers with their substrate's service-time models
-(:class:`repro.disk.HDD`, :class:`repro.flash.SSDLatency`).  The
-simulators feed operations in global arrival order, so a simple
-``busy_until`` clock per server implements FCFS queueing exactly.
-
-Fault surface
--------------
-
-Both servers accept an optional *fault stream*
-(:class:`repro.faults.DeviceFaultStream`) and a
-:class:`repro.faults.RetryPolicy`.  A serve call then returns a *typed
-outcome* instead of assuming success: the :class:`ServiceWindow` carries
-the residual :class:`~repro.faults.FaultKind` (``None`` when the command
-succeeded), how many transparent retries the device absorbed, and the
-latency those stalls and backoffs added.  Transient timeouts are retried
-in place (each retry stalls the device — later commands queue behind the
-backoff); a leftover ``TIMEOUT`` means retries ran out, and a ``URE`` is
-persistent by definition, so both escalate to the caller (the RAID layer
-reconstructs, see :mod:`repro.faults.timed`).
+The FCFS device servers moved into the engine package
+(:mod:`repro.engine.resources`) when the timing stack was re-layered on
+the discrete-event engine; ``DiskServer`` / ``SSDServer`` are the
+historical names for :class:`~repro.engine.resources.DiskResource` and
+:class:`~repro.engine.resources.SSDResource`.  Numerics, constructor
+signatures, and the typed :class:`~repro.engine.resources.ServiceWindow`
+outcome are unchanged — existing callers and tests keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..engine.resources import DiskResource, ServiceWindow, SSDResource
 
-from ..disk.hdd import HDD, HDDParams
-from ..errors import ConfigError
-from ..faults.retry import RetryPolicy
-from ..faults.schedule import DeviceFaultStream, FaultKind
-from ..flash.device import SSDLatency
+DiskServer = DiskResource
+SSDServer = SSDResource
 
-
-@dataclass
-class ServiceWindow:
-    """When an operation started and finished on a server — and whether
-    it actually succeeded.
-
-    ``fault`` is the *residual* fault after the device's transparent
-    retries: ``None`` for success, :attr:`FaultKind.URE` for an
-    unrecoverable media error, :attr:`FaultKind.TIMEOUT` when the retry
-    budget ran out.  ``fault_latency`` (stalls + backoffs) is already
-    included in ``finish``.
-    """
-
-    start: float
-    finish: float
-    fault: FaultKind | None = None
-    retries: int = 0
-    fault_latency: float = 0.0
-
-    @property
-    def ok(self) -> bool:
-        return self.fault is None
-
-
-def _faulted_service(
-    stream: DeviceFaultStream | None,
-    retry: RetryPolicy | None,
-    is_read: bool,
-    npages: int,
-) -> tuple[FaultKind | None, int, float]:
-    """Draw a command's fault outcome and absorb transient retries.
-
-    Returns ``(residual fault, retries used, added latency)``.  Each
-    timeout stalls ``timeout_s`` then waits the policy's backoff before
-    the retry re-draws from the stream; a URE is persistent and is
-    never retried (re-reading bad media returns the same error).
-    """
-    if stream is None:
-        return None, 0, 0.0
-    fault = stream.draw(is_read, npages)
-    retries = 0
-    penalty = 0.0
-    timeout_s = stream.config.timeout_s
-    while (
-        fault is FaultKind.TIMEOUT
-        and retry is not None
-        and retries < retry.max_retries
-    ):
-        penalty += timeout_s + retry.backoff(retries)
-        retries += 1
-        fault = stream.draw(is_read, npages)
-    if fault is FaultKind.TIMEOUT:
-        penalty += timeout_s  # the final, un-retried stall
-    return fault, retries, penalty
-
-
-class DiskServer:
-    """One member disk: FCFS queue over the mechanical HDD model."""
-
-    def __init__(
-        self,
-        params: HDDParams | None = None,
-        page_size: int = 4096,
-        faults: DeviceFaultStream | None = None,
-        retry: RetryPolicy | None = None,
-    ) -> None:
-        self.hdd = HDD(params, page_size=page_size)
-        self.busy_until = 0.0
-        self.ops = 0
-        self.faults = faults
-        self.retry = retry
-
-    def serve(
-        self, disk_page: int, npages: int, is_read: bool, earliest: float
-    ) -> ServiceWindow:
-        """Queue one access; returns its service window (typed outcome)."""
-        start = max(earliest, self.busy_until)
-        service = self.hdd.service_time(disk_page, npages, is_read)
-        fault, retries, penalty = _faulted_service(
-            self.faults, self.retry, is_read, npages
-        )
-        finish = start + service + penalty
-        self.busy_until = finish
-        self.ops += 1
-        return ServiceWindow(start=start, finish=finish, fault=fault,
-                             retries=retries, fault_latency=penalty)
-
-    @property
-    def utilisation_time(self) -> float:
-        return self.hdd.busy_time
-
-
-class SSDServer:
-    """The cache device: channel-parallel page reads/programs, FCFS.
-
-    Commands are admitted device-FCFS (one outstanding command; the next
-    starts when the previous finishes); *within* a command the pages
-    fan out over ``channels`` ways.  Page-to-channel assignment is
-    deterministic: least-busy channel first, equal ``busy_until`` ties
-    broken by the **lowest channel index** — never by dict/hash order —
-    so fault draws and timestamps are stable across runs and workers.
-    """
-
-    def __init__(
-        self,
-        latency: SSDLatency | None = None,
-        channels: int = 8,
-        faults: DeviceFaultStream | None = None,
-        retry: RetryPolicy | None = None,
-    ) -> None:
-        if channels < 1:
-            raise ConfigError("channels must be >= 1")
-        self.latency = latency or SSDLatency()
-        self.channels = channels
-        self.busy_until = 0.0
-        self.busy_time = 0.0
-        self.reads = 0
-        self.writes = 0
-        self.faults = faults
-        self.retry = retry
-        #: Per-channel completion clocks (a list, indexed by channel —
-        #: the index *is* the tie-break key).
-        self.channel_busy = [0.0] * channels
-        #: Channel each page of the most recent command landed on.
-        self.last_assignment: list[int] = []
-
-    def _batch_time(self, npages: int, per_page: float) -> float:
-        rounds = -(-npages // self.channels)
-        return self.latency.command_overhead + rounds * per_page
-
-    def _assign_channels(self, npages: int) -> list[int]:
-        """Deterministic page->channel placement for one command.
-
-        Channels are ranked by ``(busy_until, index)`` and pages dealt
-        round-robin over that ranking, so equally-idle channels fill
-        from index 0 upward.
-        """
-        order = sorted(range(self.channels),
-                       key=lambda c: (self.channel_busy[c], c))
-        assert all(
-            self.channel_busy[a] < self.channel_busy[b] or a < b
-            for a, b in zip(order, order[1:])
-        ), "equal-busy channel ties must break by lowest index"
-        return [order[i % self.channels] for i in range(npages)]
-
-    def _serve(self, npages: int, per_page: float, is_read: bool,
-               earliest: float) -> ServiceWindow:
-        if npages < 1:
-            raise ConfigError("npages must be >= 1")
-        start = max(earliest, self.busy_until)
-        fault, retries, penalty = _faulted_service(
-            self.faults, self.retry, is_read, npages
-        )
-        finish = start + self._batch_time(npages, per_page) + penalty
-        assignment = self._assign_channels(npages)
-        for channel in assignment:
-            self.channel_busy[channel] = max(
-                self.channel_busy[channel],
-                start + self.latency.command_overhead,
-            ) + per_page
-        self.last_assignment = assignment
-        self.busy_until = finish
-        self.busy_time += finish - start
-        if is_read:
-            self.reads += npages
-        else:
-            self.writes += npages
-        return ServiceWindow(start=start, finish=finish, fault=fault,
-                             retries=retries, fault_latency=penalty)
-
-    def serve_read(self, npages: int, earliest: float) -> ServiceWindow:
-        return self._serve(npages, self.latency.page_read, True, earliest)
-
-    def serve_write(self, npages: int, earliest: float) -> ServiceWindow:
-        return self._serve(npages, self.latency.page_program, False, earliest)
+__all__ = ["DiskServer", "SSDServer", "ServiceWindow"]

@@ -1,30 +1,40 @@
 """Full-system timing composition: cache policy + RAID disks + SSD.
 
-This is the discrete-event "prototype" path (Section IV-B): a policy
-decides what each access does; this module schedules the resulting
-device operations on FCFS servers and measures the request's response
-time.  Writes are acknowledged only after their RAID member writes
-complete (the paper's RPO=0 consistency rule); asynchronous work (read
-fills, delta/metadata commits, cleaning I/O) still occupies the devices
-and delays later requests, but not the request that caused it.
+:class:`TimedSystem` is the public face of the discrete-event
+"prototype" path (Section IV-B): a policy decides what each access
+does; the engine (:class:`repro.engine.SimEngine`) schedules the
+resulting device operations and measures the request's response time.
+Writes are acknowledged only after their RAID member writes complete
+(the paper's RPO=0 consistency rule); asynchronous work (read fills,
+delta/metadata commits, cleaning I/O) still occupies the devices and
+delays later requests, but not the request that caused it.
 
 RAID member semantics: a request's member *reads* proceed in parallel
 across disks, its member *writes* start only after the reads finish —
 the two phases of a read-modify-write.
+
+This class is deliberately a thin facade: it owns no clocks and no
+scheduling logic (kdd-lint rule RPR009 enforces that only
+:mod:`repro.engine` advances simulated time).  Cross-cutting behaviour
+is added by installing engine hooks — see
+:class:`repro.faults.FaultyTimedSystem` for the fault pipeline and
+:class:`repro.engine.InstrumentationHook` for op-level traces.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
-from ..cache.base import CachePolicy, Outcome
+from ..cache.base import CachePolicy
 from ..disk.hdd import HDDParams
-from ..errors import ConfigError
+from ..engine.hooks import EngineHook
+from ..engine.resources import QueueDiscipline
+from ..engine.system import SimEngine
 from ..flash.device import SSDLatency
 from ..raid.array import DiskOp
-from ..stats.latency import LatencyRecorder, LatencySummary
+from ..stats.latency import LatencySummary
 from ..traces.record import IORequest
-from .devices import DiskServer, SSDServer
 
 
 @dataclass(frozen=True)
@@ -53,7 +63,7 @@ class TimingReport:
 
 
 class TimedSystem:
-    """Schedules one policy's device operations on shared servers."""
+    """Schedules one policy's device operations on the shared engine."""
 
     def __init__(
         self,
@@ -61,73 +71,25 @@ class TimedSystem:
         hdd_params: HDDParams | None = None,
         ssd_latency: SSDLatency | None = None,
         ssd_channels: int = 8,
+        discipline: QueueDiscipline | None = None,
+        hooks: Sequence[EngineHook] = (),
     ) -> None:
+        self.engine = SimEngine(policy, hdd_params, ssd_latency, ssd_channels,
+                                discipline=discipline)
         self.policy = policy
-        ndisks = policy.raid.ndisks
-        page_size = policy.config.page_size
-        self.disks = [DiskServer(hdd_params, page_size) for _ in range(ndisks)]
-        self.ssd = SSDServer(ssd_latency, channels=ssd_channels)
-        self.recorder = LatencyRecorder()
-        self._clock = 0.0
+        self.disks = self.engine.disks
+        self.ssd = self.engine.ssd
+        self.recorder = self.engine.recorder
+        for hook in hooks:
+            self.engine.add_hook(hook)
 
-    # -- scheduling helpers -------------------------------------------------
-
-    def _serve_ssd(self, npages: int, is_read: bool, earliest: float) -> float:
-        """Serve one SSD command; returns its finish time.
-
-        Overridable: the fault layer (:mod:`repro.faults.timed`) inspects
-        the typed :class:`~repro.sim.devices.ServiceWindow` outcome here.
-        """
-        if is_read:
-            return self.ssd.serve_read(npages, earliest).finish
-        return self.ssd.serve_write(npages, earliest).finish
-
-    def _schedule_disk_phases(self, ops: list[DiskOp], earliest: float) -> float:
-        """Reads in parallel, then writes in parallel; returns finish time."""
-        reads = [op for op in ops if op.is_read]
-        writes = [op for op in ops if not op.is_read]
-        phase1_done = earliest
-        for op in reads:
-            w = self.disks[op.disk].serve(op.disk_page, op.npages, True, earliest)
-            phase1_done = max(phase1_done, w.finish)
-        done = phase1_done
-        for op in writes:
-            w = self.disks[op.disk].serve(op.disk_page, op.npages, False, phase1_done)
-            done = max(done, w.finish)
-        return done
-
-    def _schedule_background(self, out: Outcome, after: float) -> None:
-        """Asynchronous work occupies devices but nobody waits on it."""
-        if out.bg_ssd_writes:
-            self._serve_ssd(out.bg_ssd_writes, False, after)
-        if out.bg_disk_ops:
-            self._schedule_disk_phases(out.bg_disk_ops, after)
+    def add_hook(self, hook: EngineHook) -> None:
+        """Install an engine hook (fault pipeline, instrumentation, ...)."""
+        self.engine.add_hook(hook)
 
     def submit(self, lba: int, npages: int, is_read: bool, arrival: float) -> float:
         """Process one request; returns its completion time."""
-        if arrival < 0:
-            raise ConfigError("arrival time must be >= 0")
-        self._clock = max(self._clock, arrival)
-        completion = arrival
-        backgrounds: list[Outcome] = []
-        for page in range(lba, lba + npages):
-            out = self.policy.access(page, is_read)
-            page_done = arrival
-            if out.fg_ssd_reads:
-                page_done = self._serve_ssd(out.fg_ssd_reads, True, arrival)
-            if out.fg_compute:
-                page_done += out.fg_compute
-            if out.fg_disk_ops:
-                page_done = max(
-                    page_done, self._schedule_disk_phases(out.fg_disk_ops, arrival)
-                )
-            completion = max(completion, page_done)
-            backgrounds.append(out)
-        # background work starts once the foreground finished
-        for out in backgrounds:
-            self._schedule_background(out, completion)
-        self.recorder.record(completion - arrival)
-        return completion
+        return self.engine.submit(lba, npages, is_read, arrival)
 
     def submit_request(self, req: IORequest) -> float:
         return self.submit(req.lba, req.npages, req.is_read, req.time)
@@ -141,22 +103,20 @@ class TimedSystem:
             requests=len(self.recorder),
         )
 
-    def inject_disk_ops(self, ops: list[DiskOp], at: float) -> float:
+    def inject_disk_ops(self, ops: Sequence[DiskOp], at: float) -> float:
         """Schedule external member I/O (e.g. rebuild traffic) at ``at``.
 
         Used by degraded-mode experiments: the ops occupy the disks and
         delay subsequent foreground requests, exactly like a rebuild
         running under load.  Returns the injected batch's finish time.
         """
-        return self._schedule_disk_phases(ops, at)
+        return self.engine.inject_disk_ops(ops, at)
 
     def utilisation(self, duration: float) -> dict[str, float]:
-        """Per-device busy fractions over ``duration`` (bottleneck finder)."""
-        if duration <= 0:
-            raise ConfigError("duration must be positive")
-        out = {
-            f"disk{i}": min(1.0, d.hdd.busy_time / duration)
-            for i, d in enumerate(self.disks)
-        }
-        out["ssd"] = min(1.0, self.ssd.busy_time / duration)
-        return out
+        """Per-device busy fractions over ``duration`` (bottleneck finder).
+
+        Busy time includes fault stalls and retry backoffs
+        (:attr:`~repro.engine.resources.ServiceWindow.fault_latency`) —
+        a stalled device is occupied, not idle.
+        """
+        return self.engine.utilisation(duration)

@@ -520,6 +520,32 @@ class TestFaultSweep:
                          "stale_parity", "ure", "degraded_error",
                          "parity_repair", "reconstruction", "media_repair"]
 
+    def test_cli_faults_op_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "ops.jsonl"
+        rc = cli_main([
+            "faults", "--rates", "0.01", "--timeout-rates", "0.01",
+            "--retries", "backoff", "--requests", "100",
+            "--universe-pages", "1024", "--cache-pages", "64",
+            "--op-trace", str(trace_path),
+        ])
+        assert rc == 0
+        assert "op records" in capsys.readouterr().out
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        ops = [json.loads(line) for line in lines]
+        assert [op["op"] for op in ops] == list(range(len(ops)))
+        assert all(op["queue_delay"] >= 0.0 for op in ops)
+        assert {"submitted", "start", "finish", "device", "kind",
+                "fault"} <= set(ops[0])
+        # derandomized: a second export is byte-identical
+        again = tmp_path / "ops2.jsonl"
+        assert cli_main(["faults", "--rates", "0.01", "--timeout-rates",
+                         "0.01", "--retries", "backoff", "--requests", "100",
+                         "--universe-pages", "1024", "--cache-pages", "64",
+                         "--op-trace", str(again)]) == 0
+        capsys.readouterr()
+        assert again.read_text() == trace_path.read_text()
+
     def test_cli_rejects_unknown_retry(self, capsys):
         with pytest.raises(SystemExit):
             cli_main(["faults", "--retries", "bogus"])

@@ -33,8 +33,8 @@ def codes(src, relpath="core/mod.py", **kwargs):
 # ---------------------------------------------------------------- registry
 
 
-def test_registry_has_all_eight_rules():
-    assert sorted(REGISTRY) == [f"RPR00{i}" for i in range(1, 9)]
+def test_registry_has_all_nine_rules():
+    assert sorted(REGISTRY) == [f"RPR00{i}" for i in range(1, 10)]
 
 
 def test_rule_metadata_is_complete():
@@ -339,6 +339,44 @@ def test_rpr008_fires_everywhere_in_the_library():
     for where in ("harness/sweep.py", "devtools/lint/engine.py",
                   "faults/timed.py", "traces/trace.py"):
         assert "RPR008" in codes(snippet, relpath=where), where
+
+
+# ---------------------------------------------------------------- RPR009
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "disk.busy_until = finish\n",
+        "self.ssd.busy_until += delta\n",
+        "a, self.disk.busy_until = 1, finish\n",
+        "start = max(earliest, busy)\n",
+        "start = max(arrival, disk.busy_until)\n",
+    ],
+)
+def test_rpr009_triggers(snippet):
+    assert "RPR009" in codes(snippet, relpath="sim/system.py")
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        # reading the clock is fine; only mutation is scheduling
+        "if disk.busy_until > t:\n    f()\n",
+        # unrelated max() arithmetic (workload sources keep their clocks)
+        "clock = max(clock, req.time)\n",
+        "end_time = max(end_time, completion)\n",
+        "busy_until = 3\n",  # plain local name, not device state
+    ],
+)
+def test_rpr009_clean(snippet):
+    assert "RPR009" not in codes(snippet, relpath="sim/system.py")
+
+
+def test_rpr009_exempts_the_engine_package():
+    snippet = "resource.busy_until = finish\nstart = max(earliest, b)\n"
+    assert "RPR009" not in codes(snippet, relpath="engine/resources.py")
+    assert "RPR009" in codes(snippet, relpath="faults/timed.py")
 
 
 # ---------------------------------------------------------------- suppressions
