@@ -1,0 +1,53 @@
+"""Whole-program static analysis for the repro codebase.
+
+Where :mod:`repro.devtools.lint` checks one file at a time, this
+package parses all of ``src/repro`` once into a :class:`Project`
+(module set + import graph + cross-module symbol table) and runs four
+analyses whose invariants only exist *between* modules:
+
+=========  ============================================================
+RPR101     module-level import cycle
+RPR102     package layering violation (lower layer imports upward)
+RPR103     ownership edge rule (``engine.core`` is engine-internal)
+RPR104     flow-sensitive unit taint (bytes/pages/ms/seconds mixing)
+RPR105     RNG stream flows into more than one owner
+RPR106     RNG stream constructed with module-global lifetime
+RPR107     reachable taxonomy raise missing from a declared contract
+RPR108     raising public sim/engine/faults entry point lacks contract
+RPR109     imported name never used
+RPR110     dead public symbol (opt-in, ``--dead-code``)
+=========  ============================================================
+
+The analyzer is held to the determinism bar it enforces: findings and
+every export (JSON, DOT, the generated architecture map) are invariant
+under file-discovery order.  Shared finding/baseline machinery comes
+from :mod:`repro.devtools.lint`.
+"""
+
+from __future__ import annotations
+
+from .deadcode import check_dead_public, check_unused_imports
+from .excflow import ExceptionFlow, check_contracts
+from .graphio import architecture_md, graph_dot, graph_json
+from .layers import DEFAULT_LAYERS, LayerSpec, check_layering
+from .project import ImportEdge, ModuleInfo, Project
+from .rngflow import check_rng_provenance
+from .unitflow import check_units
+
+__all__ = [
+    "DEFAULT_LAYERS",
+    "ExceptionFlow",
+    "ImportEdge",
+    "LayerSpec",
+    "ModuleInfo",
+    "Project",
+    "architecture_md",
+    "check_contracts",
+    "check_dead_public",
+    "check_layering",
+    "check_rng_provenance",
+    "check_units",
+    "check_unused_imports",
+    "graph_dot",
+    "graph_json",
+]

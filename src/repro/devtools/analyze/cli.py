@@ -1,0 +1,164 @@
+"""``kdd-repro analyze`` command line.
+
+Exit codes mirror kdd-lint: 0 clean, 1 findings remain after the
+baseline, 2 usage or configuration error.  Output (human and JSON) is
+byte-identical across runs and file-discovery orders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+from ...errors import ReproError
+from ..lint.baseline import apply_baseline, load_baseline, write_baseline
+from ..lint.findings import Finding
+from .deadcode import check_dead_public, check_unused_imports
+from .excflow import check_contracts
+from .graphio import architecture_md, graph_dot, graph_json
+from .layers import check_layering
+from .project import Project
+from .rngflow import check_rng_provenance
+from .unitflow import check_units
+
+_DEFAULT_TARGET = "src/repro"
+
+#: Gating analyses, in code order.  RPR110 (dead public symbols) is
+#: report-only and opt-in via --dead-code.
+_ANALYSES = (
+    check_layering,
+    check_units,
+    check_rng_provenance,
+    check_contracts,
+    check_unused_imports,
+)
+
+
+def analyze_project(project: Project, dead_code: bool = False) -> list[Finding]:
+    """Run every gating analysis over one parsed :class:`Project`."""
+    findings: list[Finding] = []
+    for analysis in _ANALYSES:
+        findings.extend(analysis(project))
+    if dead_code:
+        findings.extend(check_dead_public(project))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kdd-repro analyze",
+        description="Whole-program static analysis: layering contract, "
+        "flow-sensitive unit/RNG taint, and exception-flow verification.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files or directories to analyze (default: {_DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default %(default)s); json output is stable "
+        "and byte-identical across runs",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path, default=None,
+        help="JSON baseline of grandfathered findings to ignore "
+        "(kdd-lint baseline format)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline to cover all current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--dead-code", action="store_true",
+        help="also report dead public symbols (RPR110, report-only)",
+    )
+    parser.add_argument(
+        "--export-dot", metavar="FILE", type=Path, default=None,
+        help="write the package-level import graph as Graphviz DOT",
+    )
+    parser.add_argument(
+        "--export-json", metavar="FILE", type=Path, default=None,
+        help="write the module-level import graph as JSON",
+    )
+    parser.add_argument(
+        "--write-docs", metavar="FILE", type=Path, default=None,
+        help="write the generated architecture map (docs/architecture.md)",
+    )
+    return parser
+
+
+def _render_json(findings: list[Finding]) -> str:
+    counts = Counter(f.code for f in findings)
+    doc = {
+        "version": 1,
+        "findings": [f.to_json() for f in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.update_baseline and args.baseline is None:
+        print("kdd-repro analyze: --update-baseline requires --baseline",
+              file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in (args.paths or [_DEFAULT_TARGET])]
+    try:
+        project = Project.load(paths)
+        findings = analyze_project(project, dead_code=args.dead_code)
+
+        exports = (
+            (args.export_dot, graph_dot),
+            (args.export_json, graph_json),
+            (args.write_docs, architecture_md),
+        )
+        for target, render in exports:
+            if target is not None:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(render(project), encoding="utf-8")
+
+        if args.update_baseline:
+            count = write_baseline(args.baseline, findings)
+            print(
+                f"kdd-repro analyze: wrote {count} fingerprint(s) to "
+                f"{args.baseline}",
+                file=sys.stderr,
+            )
+            return 0
+
+        stale = 0
+        if args.baseline is not None:
+            findings, stale = apply_baseline(
+                findings, load_baseline(args.baseline))
+    except ReproError as exc:
+        print(f"kdd-repro analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(_render_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            counts = Counter(f.code for f in findings)
+            summary = ", ".join(f"{c}: {n}" for c, n in sorted(counts.items()))
+            print(f"\n{len(findings)} finding(s) ({summary})")
+        else:
+            print("kdd-repro analyze: clean")
+    if stale:
+        print(
+            f"kdd-repro analyze: {stale} stale baseline "
+            f"entr{'y' if stale == 1 else 'ies'} (fixed findings); "
+            "regenerate with --update-baseline",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

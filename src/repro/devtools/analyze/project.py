@@ -1,0 +1,544 @@
+"""Project model: modules, import graph, and cross-module symbol table.
+
+Everything downstream (layering, unit taint, RNG provenance, exception
+flow, dead-code) consumes one :class:`Project` built from a single
+parse of the tree.  Construction is deterministic: files are loaded in
+sorted order and every exposed collection iterates in sorted order, so
+analysis output is invariant under file-discovery order (a property
+pinned by a hypothesis test).
+
+Module naming
+-------------
+
+Modules are named by their dotted path under the ``repro`` package
+root: ``src/repro/sim/system.py`` is ``repro.sim.system`` and the root
+``__init__.py`` is ``repro``.  Fixture trees only need a ``repro/``
+directory somewhere on the path for the same rule to apply.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...errors import ConfigError
+from ..lint.engine import iter_python_files, repro_relpath
+from ..lint.findings import Finding
+
+#: Import-edge kinds.  ``top`` executes at module import time (the only
+#: kind that can create a real import cycle); ``deferred`` executes
+#: inside a function body; ``typing`` only exists for the type checker
+#: (guarded by ``if TYPE_CHECKING:``).
+EDGE_TOP = "top"
+EDGE_DEFERRED = "deferred"
+EDGE_TYPING = "typing"
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import of a project module by another."""
+
+    src: str  # importing module, e.g. "repro.faults.timed"
+    dst: str  # imported module, e.g. "repro.engine.hooks"
+    line: int
+    col: int
+    kind: str  # EDGE_TOP | EDGE_DEFERRED | EDGE_TYPING
+    symbol: str = ""  # "" for whole-module imports
+
+    def sort_key(self) -> tuple[str, str, int, int, str]:
+        return (self.src, self.dst, self.line, self.col, self.symbol)
+
+
+@dataclass(frozen=True)
+class Binding:
+    """What one imported name in a module refers to.
+
+    ``module`` is the dotted source module (project or external);
+    ``symbol`` is the attribute taken from it (``""`` when the binding
+    is the module object itself).
+    """
+
+    module: str
+    symbol: str = ""
+    line: int = 0
+    kind: str = EDGE_TOP
+
+
+@dataclass
+class ClassInfo:
+    """Cross-module view of one top-level class."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    #: Base-class ids ("module:Class") resolved to project classes.
+    bases: list[str] = field(default_factory=list)
+    #: Method name -> FunctionDef/AsyncFunctionDef node.
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = \
+        field(default_factory=dict)
+    #: Instance attribute -> project class id, for ``self.x = Cls(...)``
+    #: assignments seen in any method (construction-tracked types).
+    attr_classes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def id(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+@dataclass
+class FuncInfo:
+    """One function or method, addressable across the project."""
+
+    module: str
+    qualname: str  # "replay_trace", "SimEngine.submit", "f.<locals>.g"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str = ""  # owning top-level class, "" for plain functions
+
+    @property
+    def id(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_public(self) -> bool:
+        if any(part.startswith("_") and not part.startswith("__")
+               for part in self.qualname.split(".")):
+            return False
+        return "<locals>" not in self.qualname
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus everything extracted from it."""
+
+    name: str  # dotted, e.g. "repro.sim.system"
+    relpath: str  # repro-relative path, e.g. "sim/system.py"
+    path: str  # path as given (for display)
+    tree: ast.Module
+    source: str
+    is_package: bool
+    #: Imported-name bindings (project and external), in source order.
+    bindings: dict[str, Binding] = field(default_factory=dict)
+    #: Top-level defs: name -> "func" | "class" | "const".
+    symbols: dict[str, str] = field(default_factory=dict)
+    exports: tuple[str, ...] | None = None  # __all__ if present
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else self.name
+
+    @property
+    def top_package(self) -> str:
+        """First path component under ``repro`` ("" for the root)."""
+        parts = self.name.split(".")
+        return parts[1] if len(parts) > 1 else ""
+
+
+def finding_at(
+    mod: ModuleInfo, line: int, col: int, code: str, message: str
+) -> Finding:
+    """Build a Finding anchored at a source line of ``mod``.
+
+    The source line rides along so baseline fingerprints stay valid
+    when unrelated edits shift the file.
+    """
+    lines = mod.source.splitlines()
+    source = lines[line - 1] if 1 <= line <= len(lines) else ""
+    return Finding(
+        path=mod.path,
+        relpath=mod.relpath,
+        line=line,
+        col=col,
+        code=code,
+        message=message,
+        source=source,
+    )
+
+
+def _module_name(relpath: str) -> str:
+    """``sim/system.py`` -> ``repro.sim.system``; ``__init__.py`` -> ``repro``."""
+    dotted = relpath[:-3].replace("/", ".")
+    if dotted == "__init__":
+        return "repro"
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return f"repro.{dotted}"
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect imports with their execution kind (top/deferred/typing)."""
+
+    def __init__(self) -> None:
+        self.found: list[tuple[ast.Import | ast.ImportFrom, str]] = []
+        self._depth = 0
+        self._typing = 0
+
+    def _kind(self) -> str:
+        if self._typing:
+            return EDGE_TYPING
+        return EDGE_DEFERRED if self._depth else EDGE_TOP
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.found.append((node, self._kind()))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.found.append((node, self._kind()))
+
+    def _enter_function(self, node: ast.AST) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+    visit_Lambda = _enter_function
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._typing += 1
+            for stmt in node.body:
+                self.visit(stmt)
+            self._typing -= 1
+            for stmt in node.orelse:
+                self.visit(stmt)
+        else:
+            self.generic_visit(node)
+
+
+def _extract_all(tree: ast.Module) -> tuple[str, ...] | None:
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for tgt in targets:
+            if isinstance(tgt, ast.Name) and tgt.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [el.value for el in value.elts
+                             if isinstance(el, ast.Constant)
+                             and isinstance(el.value, str)]
+                    return tuple(names)
+    return None
+
+
+class Project:
+    """All modules of one source tree, parsed once.
+
+    ``modules`` maps dotted names to :class:`ModuleInfo`; ``edges`` is
+    the project import graph (imports of non-project modules are kept
+    separately in each module's ``bindings`` for the unused-import
+    analysis).
+    """
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = dict(sorted(modules.items()))
+        self.edges: list[ImportEdge] = []
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FuncInfo] = {}
+        self._index_symbols()
+        self._resolve_imports()
+        self._index_defs()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def load(cls, paths: list[Path]) -> "Project":
+        """Parse every ``.py`` file under ``paths`` into a project.
+
+        Input order does not matter: modules are keyed and processed by
+        dotted name.  Unparseable files raise :class:`ConfigError` —
+        the analyzer needs the whole program, a broken file means the
+        whole run is unreliable.
+        """
+        modules: dict[str, ModuleInfo] = {}
+        for file in iter_python_files(paths):
+            relpath = repro_relpath(file)
+            name = _module_name(relpath)
+            try:
+                source = file.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise ConfigError(f"cannot read {file}: {exc}") from exc
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                raise ConfigError(
+                    f"{file}:{exc.lineno}: syntax error: {exc.msg}"
+                ) from exc
+            if name in modules:
+                raise ConfigError(
+                    f"module {name} found twice: {modules[name].path} and {file}"
+                )
+            modules[name] = ModuleInfo(
+                name=name,
+                relpath=relpath,
+                path=str(file),
+                tree=tree,
+                source=source,
+                is_package=file.name == "__init__.py",
+            )
+        return cls(modules)
+
+    # -- symbol table --------------------------------------------------------
+
+    def _index_symbols(self) -> None:
+        for mod in self.modules.values():
+            mod.exports = _extract_all(mod.tree)
+            for stmt in mod.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    mod.symbols[stmt.name] = "func"
+                elif isinstance(stmt, ast.ClassDef):
+                    mod.symbols[stmt.name] = "class"
+                elif isinstance(stmt, ast.Assign):
+                    for tgt in stmt.targets:
+                        if isinstance(tgt, ast.Name):
+                            mod.symbols.setdefault(tgt.id, "const")
+                elif isinstance(stmt, ast.AnnAssign):
+                    if isinstance(stmt.target, ast.Name):
+                        mod.symbols.setdefault(stmt.target.id, "const")
+
+    # -- import resolution ---------------------------------------------------
+
+    def _resolve_base(self, mod: ModuleInfo, node: ast.ImportFrom) -> str:
+        """Absolute dotted module an ImportFrom pulls from."""
+        if node.level == 0:
+            return node.module or ""
+        parts = mod.package.split(".")
+        if node.level > 1:
+            parts = parts[: len(parts) - (node.level - 1)]
+        base = ".".join(parts)
+        return f"{base}.{node.module}" if node.module else base
+
+    def _resolve_imports(self) -> None:
+        edges: list[ImportEdge] = []
+        for mod in self.modules.values():
+            collector = _ImportCollector()
+            collector.visit(mod.tree)
+            for node, kind in collector.found:
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        bound = alias.asname or alias.name.split(".")[0]
+                        if kind == EDGE_TOP:
+                            mod.bindings.setdefault(
+                                bound,
+                                Binding(alias.name, "", node.lineno, kind),
+                            )
+                        if alias.name in self.modules:
+                            edges.append(ImportEdge(
+                                mod.name, alias.name, node.lineno,
+                                node.col_offset, kind))
+                    continue
+                base = self._resolve_base(mod, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    submodule = f"{base}.{alias.name}"
+                    if submodule in self.modules:
+                        # ``from pkg import submodule``
+                        if kind == EDGE_TOP:
+                            mod.bindings.setdefault(
+                                bound, Binding(submodule, "", node.lineno, kind))
+                        edges.append(ImportEdge(
+                            mod.name, submodule, node.lineno,
+                            node.col_offset, kind))
+                        continue
+                    if kind == EDGE_TOP or bound not in mod.bindings:
+                        mod.bindings[bound] = Binding(
+                            base, alias.name, node.lineno, kind)
+                    if base in self.modules:
+                        edges.append(ImportEdge(
+                            mod.name, base, node.lineno, node.col_offset,
+                            kind, symbol=alias.name))
+        self.edges = sorted(edges, key=ImportEdge.sort_key)
+
+    # -- definitions ---------------------------------------------------------
+
+    def _index_defs(self) -> None:
+        for mod in self.modules.values():
+            for stmt in mod.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._index_function(mod, stmt, prefix="", class_name="")
+                elif isinstance(stmt, ast.ClassDef):
+                    self._index_class(mod, stmt)
+        for info in self.classes.values():
+            self._track_attr_classes(info)
+
+    def _index_function(
+        self,
+        mod: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        prefix: str,
+        class_name: str,
+    ) -> None:
+        qualname = f"{prefix}{node.name}"
+        info = FuncInfo(module=mod.name, qualname=qualname, node=node,
+                        class_name=class_name)
+        self.functions[info.id] = info
+        nested_prefix = f"{qualname}.<locals>."
+        for stmt in node.body:
+            self._index_nested(mod, stmt, nested_prefix, class_name)
+
+    def _index_nested(self, mod: ModuleInfo, stmt: ast.stmt, prefix: str,
+                      class_name: str) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._index_function(mod, stmt, prefix, class_name)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._index_nested(mod, child, prefix, class_name)
+
+    def _index_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        info = ClassInfo(name=node.name, module=mod.name, node=node)
+        for base in node.bases:
+            resolved = self.resolve_class_expr(mod, base)
+            if resolved is not None:
+                info.bases.append(resolved.id)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = stmt
+                self._index_function(mod, stmt, prefix=f"{node.name}.",
+                                     class_name=node.name)
+        self.classes[info.id] = info
+
+    def _track_attr_classes(self, info: ClassInfo) -> None:
+        """Record ``self.x = Cls(...)`` constructions as attribute types."""
+        mod = self.modules[info.module]
+        for method in info.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                if not (isinstance(value, ast.Call)):
+                    continue
+                cls = self.resolve_class_expr(mod, value.func)
+                if cls is None:
+                    continue
+                for tgt in node.targets:
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        info.attr_classes.setdefault(tgt.attr, cls.id)
+
+    # -- cross-module resolution --------------------------------------------
+
+    def resolve_symbol(
+        self, module: str, name: str, _seen: frozenset[tuple[str, str]] = frozenset()
+    ) -> tuple[str, str] | None:
+        """Follow import re-exports to ``name``'s defining module.
+
+        Returns ``(module, kind)`` where ``kind`` is the symbol kind in
+        the defining module, or ``None`` when the name leaves the
+        project (external import) or does not exist.
+        """
+        if (module, name) in _seen or module not in self.modules:
+            return None
+        mod = self.modules[module]
+        if name in mod.symbols:
+            return module, mod.symbols[name]
+        binding = mod.bindings.get(name)
+        if binding is None:
+            return None
+        seen = _seen | {(module, name)}
+        if binding.symbol == "":
+            return None  # bound to a module object, not a symbol
+        if binding.module in self.modules:
+            return self.resolve_symbol(binding.module, binding.symbol, seen)
+        return None
+
+    def resolve_class_expr(
+        self, mod: ModuleInfo, expr: ast.expr
+    ) -> ClassInfo | None:
+        """Resolve a Name/Attribute expression to a project class."""
+        if isinstance(expr, ast.Name):
+            resolved = self._chase(mod.name, expr.id)
+            if resolved is not None and resolved in self.classes:
+                return self.classes[resolved]
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            binding = mod.bindings.get(expr.value.id)
+            if binding is not None and binding.symbol == "" \
+                    and binding.module in self.modules:
+                resolved = self._chase(binding.module, expr.attr)
+                if resolved is not None and resolved in self.classes:
+                    return self.classes[resolved]
+        return None
+
+    def _chase(self, module: str, name: str,
+               _seen: frozenset[tuple[str, str]] = frozenset()) -> str | None:
+        """Resolve (module, name) to a definition id ("module:name")."""
+        if (module, name) in _seen or module not in self.modules:
+            return None
+        mod = self.modules[module]
+        if name in mod.symbols and mod.symbols[name] in ("class", "func"):
+            return f"{module}:{name}"
+        binding = mod.bindings.get(name)
+        if binding is None or binding.symbol == "":
+            return None
+        return self._chase(binding.module, binding.symbol,
+                           _seen | {(module, name)})
+
+    def resolve_func_expr(self, mod: ModuleInfo, expr: ast.expr) -> str | None:
+        """Resolve a call-target expression to a function/class id."""
+        if isinstance(expr, ast.Name):
+            return self._chase(mod.name, expr.id)
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            binding = mod.bindings.get(expr.value.id)
+            if binding is not None and binding.symbol == "" \
+                    and binding.module in self.modules:
+                return self._chase(binding.module, expr.attr)
+        return None
+
+    def class_mro(self, class_id: str) -> list[str]:
+        """Project-visible linearisation: the class then its base chain."""
+        out: list[str] = []
+        stack = [class_id]
+        while stack:
+            cur = stack.pop(0)
+            if cur in out or cur not in self.classes:
+                continue
+            out.append(cur)
+            stack.extend(self.classes[cur].bases)
+        return out
+
+    def find_method(self, class_id: str, name: str) -> FuncInfo | None:
+        for cid in self.class_mro(class_id):
+            info = self.classes[cid]
+            if name in info.methods:
+                return self.functions.get(f"{info.module}:{info.name}.{name}")
+        return None
+
+    def subclasses_of(self, class_id: str) -> set[str]:
+        """``class_id`` plus every project class that derives from it."""
+        out = {class_id}
+        changed = True
+        while changed:
+            changed = False
+            for info in self.classes.values():
+                if info.id in out:
+                    continue
+                if any(base in out for base in info.bases):
+                    out.add(info.id)
+                    changed = True
+        return out

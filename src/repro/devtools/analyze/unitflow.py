@@ -1,0 +1,346 @@
+"""Flow-sensitive unit taint (RPR104).
+
+The lexical rule (kdd-lint RPR007) only sees unit mixing when *both*
+operands are helpfully named at the point of use.  This analysis runs
+an intraprocedural forward dataflow instead: a unit (``bytes``,
+``pages``, ``ms``, ``seconds``) attaches to a value at a naming site or
+a known-converter call and then propagates through assignments,
+augmented assignments, returns, and resolved project-call boundaries —
+so a ``bytes`` value laundered through a blandly named local is still
+caught, and a rate like ``ops_per_page`` is correctly unit-less.
+
+The lattice per variable is tiny: ``None`` (unknown / dimensionless)
+or one unit string.  Branches merge by agreement — a variable keeps a
+unit over an ``if``/``else`` only when both arms agree; loops process
+their body once against a copy and merge the same way.  This is
+deliberately conservative: the analysis prefers silence to a false
+positive, because it gates CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..lint.findings import Finding
+from .project import FuncInfo, ModuleInfo, Project, finding_at
+
+_TOKEN_SPLIT = re.compile(r"[_\W]+")
+_TOKENS = {
+    "bytes": frozenset({"bytes", "nbytes"}),
+    "pages": frozenset({"pages", "npages"}),
+    "ms": frozenset({"ms"}),
+    "seconds": frozenset({"seconds"}),
+}
+
+#: Return units of the repro.units conversion helpers; their names mix
+#: both unit tokens (``pages_for_bytes``) so lexical inference would
+#: refuse to classify them.
+KNOWN_RETURNS = {
+    "repro.units:pages_for_bytes": "pages",
+}
+
+#: ms and seconds both measure time but at different scale; bytes and
+#: pages both measure capacity.  Any cross-unit combination is a
+#: conflict — same-dimension pairs just get a more pointed hint.
+_CONVERT_HINT = {
+    frozenset({"bytes", "pages"}): "repro.units.pages_for_bytes / "
+                                   "DEFAULT_PAGE_SIZE",
+    frozenset({"ms", "seconds"}): "repro.units.MILLISECOND",
+}
+
+
+def unit_of_name(name: str) -> str | None:
+    """Unit implied by a name, or None for unknown/ambiguous/rate names."""
+    tokens = set(_TOKEN_SPLIT.split(name.lower()))
+    if "per" in tokens:  # rates are dimensionless
+        return None
+    hits = [unit for unit, toks in _TOKENS.items() if tokens & toks]
+    if len(hits) != 1:
+        return None
+    # Bare "ms"/"seconds" as a whole name is fine; bare single-token
+    # heuristics stay narrow to avoid tainting loop counters etc.
+    return hits[0]
+
+
+class _FunctionUnits:
+    """One forward pass over a function (or module) body."""
+
+    def __init__(self, analysis: "UnitFlow", mod: ModuleInfo,
+                 owner: str) -> None:
+        self.analysis = analysis
+        self.mod = mod
+        self.owner = owner  # qualname for messages, "" at module scope
+        self.env: dict[str, str | None] = {}
+
+    # -- expression units ----------------------------------------------------
+
+    def unit_of(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            return unit_of_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return unit_of_name(expr.attr)
+        if isinstance(expr, ast.BinOp):
+            return self._binop_unit(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.unit_of(expr.operand)
+        if isinstance(expr, ast.Call):
+            return self._call_unit(expr)
+        if isinstance(expr, ast.IfExp):
+            a, b = self.unit_of(expr.body), self.unit_of(expr.orelse)
+            return a if a == b else None
+        if isinstance(expr, (ast.Constant, ast.List, ast.Tuple, ast.Dict,
+                             ast.Set, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.GeneratorExp)):
+            return None
+        return None
+
+    def _binop_unit(self, expr: ast.BinOp) -> str | None:
+        left, right = self.unit_of(expr.left), self.unit_of(expr.right)
+        if isinstance(expr.op, (ast.Add, ast.Sub, ast.Mod)):
+            self._check_conflict(expr, left, right)
+            return left if left is not None else right
+        if isinstance(expr.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Pow)):
+            # multiplication/division performs conversions; the result's
+            # dimension is not either operand's, so drop the taint.
+            return None
+        return None
+
+    def _call_unit(self, expr: ast.Call) -> str | None:
+        callee = self.analysis.project.resolve_func_expr(self.mod, expr.func)
+        if callee is None:
+            # min/max/abs/round preserve their arguments' unit.
+            if isinstance(expr.func, ast.Name) and \
+                    expr.func.id in ("min", "max", "abs", "round", "sum"):
+                units = {self.unit_of(arg) for arg in expr.args}
+                units.discard(None)
+                return units.pop() if len(units) == 1 else None
+            return None
+        if callee in KNOWN_RETURNS:
+            return KNOWN_RETURNS[callee]
+        self._check_call_args(expr, callee)
+        return None
+
+    # -- conflict reporting --------------------------------------------------
+
+    def _where(self) -> str:
+        return f" in {self.owner}()" if self.owner else " at module scope"
+
+    def _check_conflict(self, node: ast.AST, left: str | None,
+                        right: str | None) -> None:
+        if left is None or right is None or left == right:
+            return
+        hint = _CONVERT_HINT.get(frozenset({left, right}),
+                                 "a repro.units conversion")
+        self.analysis.report(
+            self.mod, node,
+            f"unit conflict{self._where()}: combines a {left}-valued "
+            f"expression with a {right}-valued one; convert via {hint} first",
+        )
+
+    def _check_call_args(self, call: ast.Call, callee: str) -> None:
+        func = self.analysis.project.functions.get(callee)
+        if func is None:
+            cls = self.analysis.project.classes.get(callee)
+            if cls is None:
+                return
+            func = self.analysis.project.find_method(callee, "__init__")
+            if func is None:
+                return
+        params = [a.arg for a in func.node.args.args]
+        if func.class_name and params and params[0] == "self":
+            params = params[1:]
+        for param, arg in zip(params, call.args):
+            want = unit_of_name(param)
+            got = self.unit_of(arg)
+            if want is not None and got is not None and want != got:
+                hint = _CONVERT_HINT.get(frozenset({want, got}),
+                                         "a repro.units conversion")
+                self.analysis.report(
+                    self.mod, arg,
+                    f"unit conflict{self._where()}: passes a {got}-valued "
+                    f"argument to parameter '{param}' ({want}) of "
+                    f"{func.qualname}(); convert via {hint} first",
+                )
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            want = unit_of_name(kw.arg)
+            got = self.unit_of(kw.value)
+            if want is not None and got is not None and want != got:
+                hint = _CONVERT_HINT.get(frozenset({want, got}),
+                                         "a repro.units conversion")
+                self.analysis.report(
+                    self.mod, kw.value,
+                    f"unit conflict{self._where()}: passes a {got}-valued "
+                    f"argument to parameter '{kw.arg}' ({want}) of "
+                    f"{func.qualname}(); convert via {hint} first",
+                )
+
+    # -- statements ----------------------------------------------------------
+
+    def run(self, body: list[ast.stmt], return_unit: str | None) -> None:
+        self._return_unit = return_unit
+        self._block(body)
+
+    def _block(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _merge(self, before: dict[str, str | None],
+               *branches: dict[str, str | None]) -> None:
+        merged: dict[str, str | None] = {}
+        keys = set(before)
+        for env in branches:
+            keys |= set(env)
+        for key in sorted(keys):
+            values = {env.get(key) for env in branches} if branches \
+                else {before.get(key)}
+            merged[key] = values.pop() if len(values) == 1 else None
+        self.env = merged
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            unit = self.unit_of(stmt.value)
+            for tgt in stmt.targets:
+                self._assign(tgt, unit, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self.unit_of(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mod)):
+                self._check_conflict(
+                    stmt, self.unit_of(stmt.target), self.unit_of(stmt.value))
+            elif isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = None
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            got = self.unit_of(stmt.value)
+            want = self._return_unit
+            if want is not None and got is not None and want != got:
+                hint = _CONVERT_HINT.get(frozenset({want, got}),
+                                         "a repro.units conversion")
+                self.analysis.report(
+                    self.mod, stmt,
+                    f"unit conflict{self._where()}: returns a {got}-valued "
+                    f"expression from a {want}-valued function; convert via "
+                    f"{hint} first",
+                )
+        elif isinstance(stmt, ast.If):
+            self.unit_of(stmt.test)
+            before = dict(self.env)
+            self._block(stmt.body)
+            then_env = self.env
+            self.env = dict(before)
+            self._block(stmt.orelse)
+            self._merge(before, then_env, self.env)
+            return
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            before = dict(self.env)
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = unit_of_name(stmt.target.id)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            self._merge(before, before, self.env)
+            return
+        elif isinstance(stmt, ast.While):
+            self.unit_of(stmt.test)
+            before = dict(self.env)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            self._merge(before, before, self.env)
+            return
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._block(stmt.body)
+            return
+        elif isinstance(stmt, ast.Try):
+            before = dict(self.env)
+            self._block(stmt.body)
+            envs = [self.env]
+            for handler in stmt.handlers:
+                self.env = dict(before)
+                self._block(handler.body)
+                envs.append(self.env)
+            self._merge(before, *envs)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+            return
+        elif isinstance(stmt, ast.Expr):
+            self.unit_of(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            return  # nested scopes are analysed separately
+        else:
+            # visit embedded expressions (e.g. assert) for call checks
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.unit_of(child)
+
+    def _assign(self, target: ast.expr, unit: str | None,
+                stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            declared = unit_of_name(target.id)
+            if declared is not None and unit is not None and declared != unit:
+                hint = _CONVERT_HINT.get(frozenset({declared, unit}),
+                                         "a repro.units conversion")
+                self.analysis.report(
+                    self.mod, stmt,
+                    f"unit conflict{self._where()}: assigns a {unit}-valued "
+                    f"expression to '{target.id}' ({declared}); convert via "
+                    f"{hint} first",
+                )
+            self.env[target.id] = declared if declared is not None else unit
+        elif isinstance(target, ast.Attribute):
+            declared = unit_of_name(target.attr)
+            if declared is not None and unit is not None and declared != unit:
+                hint = _CONVERT_HINT.get(frozenset({declared, unit}),
+                                         "a repro.units conversion")
+                self.analysis.report(
+                    self.mod, stmt,
+                    f"unit conflict{self._where()}: assigns a {unit}-valued "
+                    f"expression to attribute '{target.attr}' ({declared}); "
+                    f"convert via {hint} first",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, None, stmt)
+
+
+class UnitFlow:
+    """Project-wide driver for the per-function unit dataflow."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: list[Finding] = []
+
+    def report(self, mod: ModuleInfo, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(finding_at(mod, line, col, "RPR104", message))
+
+    def _seed_params(self, walker: _FunctionUnits, func: FuncInfo) -> None:
+        args = func.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            walker.env[arg.arg] = unit_of_name(arg.arg)
+
+    def run(self) -> list[Finding]:
+        for mod in self.project.modules.values():
+            scope = _FunctionUnits(self, mod, owner="")
+            scope.run(
+                [s for s in mod.tree.body
+                 if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                       ast.ClassDef))],
+                return_unit=None,
+            )
+        for func in self.project.functions.values():
+            mod = self.project.modules[func.module]
+            walker = _FunctionUnits(self, mod, owner=func.qualname)
+            self._seed_params(walker, func)
+            walker.run(list(func.node.body),
+                       return_unit=unit_of_name(func.name))
+        return sorted(self.findings, key=Finding.sort_key)
+
+
+def check_units(project: Project) -> list[Finding]:
+    """RPR104: flow-sensitive bytes/pages/ms/seconds taint conflicts."""
+    return UnitFlow(project).run()

@@ -37,12 +37,9 @@ SIM_DIRS = ("sim", "cache", "raid", "core", "flash", "delta", "nvram", "faults",
 FLOAT_EQ_DIRS = ("stats", "sim", "engine")
 
 #: The one directory allowed to advance simulated time (RPR009).
+#: The harness/devtools side needs no allowlist constant: wall-clock
+#: scoping is expressed positively through SIM_DIRS membership.
 ENGINE_DIRS = ("engine",)
-
-#: The measurement harness drives real processes and may read the wall
-#: clock for operator-facing progress output; it is allowlisted from
-#: RPR002 (and only RPR002 — every other rule still applies to it).
-HARNESS_DIRS = ("harness", "devtools")
 
 
 class Rule(ast.NodeVisitor):
@@ -460,7 +457,12 @@ _TOKEN_SPLIT = re.compile(r"[_\W]+")
 
 
 def _unit_of(node: ast.expr) -> str | None:
-    """'bytes' / 'pages' classification of an operand by naming convention."""
+    """'bytes' / 'pages' classification of an operand by naming convention.
+
+    Rate-valued names (``ops_per_page``, ``bytes_per_ms``) carry a
+    *ratio*, not either unit, so they classify as unit-less — comparing
+    two rates or scaling by one is legitimate arithmetic.
+    """
     if isinstance(node, ast.Name):
         name = node.id
     elif isinstance(node, ast.Attribute):
@@ -468,6 +470,8 @@ def _unit_of(node: ast.expr) -> str | None:
     else:
         return None
     tokens = set(_TOKEN_SPLIT.split(name.lower()))
+    if "per" in tokens:  # rates are dimensionless for unit mixing
+        return None
     byteish = bool(tokens & _BYTES_TOKENS)
     pageish = bool(tokens & _PAGES_TOKENS)
     if byteish == pageish:  # untyped, or pathologically both

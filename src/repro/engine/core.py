@@ -30,7 +30,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import Enum
 
-from ..errors import ConfigError, SimulationError
+from ..errors import ConfigError, SimulationError, raises
 
 
 class Priority(Enum):
@@ -161,6 +161,7 @@ class EventLoop:
         event.action(event.time)
         return True
 
+    @raises(SimulationError)
     def run(self, max_events: int | None = None) -> int:
         """Run until the heap drains; returns the number of events run."""
         ran = 0

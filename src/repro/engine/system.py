@@ -38,7 +38,7 @@ from collections.abc import Iterable, Iterator, Sequence
 
 from ..cache.base import CachePolicy, Outcome
 from ..disk.hdd import HDDParams
-from ..errors import ConfigError
+from ..errors import ConfigError, SimulationError, raises
 from ..flash.device import SSDLatency
 from ..raid.array import DiskOp
 from ..stats.latency import LatencyRecorder
@@ -219,6 +219,7 @@ class SimEngine:
             hook.on_request_done(self, record)
         return completion
 
+    @raises(SimulationError)
     def submit(self, lba: int, npages: int, is_read: bool,
                arrival: float) -> float:
         """Process one foreground request; returns its completion time."""
@@ -233,6 +234,7 @@ class SimEngine:
         self.loop.run()
         return results[0]
 
+    @raises(SimulationError)
     def inject_disk_ops(self, ops: Sequence[DiskOp], at: float) -> float:
         """Schedule external member I/O (e.g. rebuild traffic) at ``at``.
 

@@ -3,9 +3,30 @@
 Every error raised deliberately by this library derives from
 :class:`ReproError`, so callers can catch library failures without
 masking programming errors (``TypeError`` etc. propagate unchanged).
+
+Exception contracts
+-------------------
+
+Public entry points of the simulation layer declare which taxonomy
+classes they can raise with the :func:`raises` decorator::
+
+    @raises(SimulationError, DegradedError)
+    def replay_trace(system, trace): ...
+
+The declarations are machine-checked: ``kdd-repro analyze`` computes
+each entry point's may-raise set over the project call graph and fails
+when a reachable taxonomy raise is missing from the declaration
+(finding RPR107) or when a raising public entry point has no contract
+at all (RPR108).  :class:`ConfigError` is *ambient* — every boundary
+may reject an invalid configuration — so contracts only cover runtime
+failure classes.  At run time the decorator is a no-op apart from
+recording the contract on ``__may_raise__``.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TypeVar
 
 
 class ReproError(Exception):
@@ -82,3 +103,29 @@ class CacheError(ReproError):
 
 class RecoveryError(ReproError):
     """Crash/failure recovery could not restore a consistent state."""
+
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def raises(*exceptions: type[ReproError]) -> Callable[[_F], _F]:
+    """Declare the taxonomy classes a public entry point may raise.
+
+    The declaration is stored on the function as ``__may_raise__`` (a
+    tuple of exception classes) and verified statically by
+    ``kdd-repro analyze``; see the module docstring.  Declaring a base
+    class covers its subclasses, mirroring ``except`` semantics.
+    """
+    for exc in exceptions:
+        if not (isinstance(exc, type) and issubclass(exc, ReproError)):
+            raise TypeError(
+                f"@raises() accepts repro.errors classes, got {exc!r}; "
+                "builtin exceptions mark programming errors and are not "
+                "part of the library's contract"
+            )
+
+    def mark(fn: _F) -> _F:
+        fn.__may_raise__ = exceptions  # type: ignore[attr-defined]
+        return fn
+
+    return mark

@@ -17,8 +17,11 @@ the parity.  This package makes that window executable:
   every device, degraded-mode reconstruction reads, and an event log;
 * :class:`Scrubber` — background stripe verification and repair via the
   ``parity_update`` / rewrite interfaces;
-* the ``kdd-repro faults`` experiment driver (fault rate x retry
-  policy -> degraded-mode response time).
+* :func:`demo_event_log` — the scripted vulnerability-window narrative.
+
+The sweep drivers (``kdd-repro faults``: fault rate x retry policy ->
+degraded-mode response time) live in :mod:`repro.harness.faultsweep` —
+the layering contract keeps simulation code from importing the harness.
 """
 
 from __future__ import annotations
@@ -43,11 +46,7 @@ _LAZY = {
     "rebuild_under_load": "timed",
     "Scrubber": "scrubber",
     "ScrubReport": "scrubber",
-    "FAULTS_KEYS": "experiment",
-    "demo_event_log": "experiment",
-    "demo_op_trace": "experiment",
-    "faults_cell": "experiment",
-    "run_faults_cell": "experiment",
+    "demo_event_log": "demo",
 }
 
 
@@ -61,7 +60,6 @@ def __getattr__(name: str) -> Any:
 
 
 __all__ = [
-    "FAULTS_KEYS",
     "RETRY_POLICIES",
     "DeviceFaultStream",
     "FaultConfig",
@@ -74,9 +72,6 @@ __all__ = [
     "ScrubReport",
     "Scrubber",
     "demo_event_log",
-    "demo_op_trace",
-    "faults_cell",
     "rebuild_under_load",
     "retry_policy",
-    "run_faults_cell",
 ]

@@ -1,0 +1,88 @@
+"""The vulnerability-window narrative as a deterministic event log.
+
+:func:`demo_event_log` scripts the paper's vulnerability-window story
+(the ``kdd-repro faults --events-out`` artifact):
+
+1. a latent sector error on a **fresh** stripe is reconstructed from
+   the surviving peers + parity on the next read;
+2. the same error on a **stale-parity** stripe is *not* reconstructible
+   (``DegradedError``) until the cleaner repairs the parity — after
+   which the read succeeds with the correct payload.
+
+It needs nothing from the harness — just a payload-carrying RAID array
+and a fault schedule — so it lives in the simulation layer; the sweep
+drivers that do need the harness are in
+:mod:`repro.harness.faultsweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import DegradedError, RaidError, raises
+from ..raid.array import RAIDArray
+from ..raid.layout import RaidLevel
+from .schedule import FaultConfig, FaultSchedule
+
+
+@raises(RaidError)
+def demo_event_log() -> list[dict[str, Any]]:
+    """The vulnerability-window narrative as a deterministic event log.
+
+    Scripted against a payload-carrying RAID-5 array (no RNG at all), so
+    the emitted rows are identical on every run — the CI artifact diff
+    is meaningful.
+    """
+    schedule = FaultSchedule(FaultConfig())
+    raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=2,
+                     pages_per_disk=16, store_data=True, page_size=64)
+    for lpage in range(raid.capacity_pages):
+        raid.write(lpage, data=[bytes([lpage % 251]) * 64])
+
+    # -- act 1: URE on a fresh stripe is survivable --------------------------
+    fresh = raid.layout.locate(0)
+    raid.mark_media_error(fresh.disk, fresh.disk_page)
+    schedule.record(1.0, f"disk{fresh.disk}", "ure", fresh.disk_page,
+                    detail="latent sector error on a fresh stripe")
+    ops = raid.read(0)  # reconstructs from peers + parity
+    payload = bytes(raid.read_data(0))
+    assert payload == bytes([0]) * 64, "reconstruction returned wrong data"
+    schedule.record(1.1, f"disk{fresh.disk}", "reconstruction",
+                    fresh.disk_page,
+                    detail=f"degraded read served from {len(ops)} peer reads")
+    raid.repair_page(fresh.disk, fresh.disk_page)
+    schedule.record(1.2, f"disk{fresh.disk}", "media_repair",
+                    fresh.disk_page, detail="page rewritten from reconstruction")
+
+    # -- act 2: the same fault inside the vulnerability window ---------------
+    stale_lpage = raid.layout.stripe_data_pages  # first page of stripe 1
+    raid.write_without_parity_update(stale_lpage, data=b"\xab" * 64)
+    schedule.record(2.0, "array", "stale_parity",
+                    detail=f"stripe 1 parity delayed (page {stale_lpage} "
+                           "written without parity update)")
+    victim = raid.layout.locate(stale_lpage + 1)  # sibling in stripe 1
+    raid.mark_media_error(victim.disk, victim.disk_page)
+    schedule.record(2.1, f"disk{victim.disk}", "ure", victim.disk_page,
+                    detail="latent sector error inside the vulnerability window")
+    try:
+        raid.read(stale_lpage + 1)
+        raise AssertionError("stale-parity degraded read must fail")
+    except DegradedError as exc:
+        schedule.record(2.2, f"disk{victim.disk}", "degraded_error",
+                        victim.disk_page, detail=str(exc)[:120])
+
+    # -- act 3: the cleaner repairs parity; the window closes ----------------
+    raid.parity_update(1, cached_pages=list(raid.layout.stripe_pages(1)))
+    schedule.record(3.0, "array", "parity_repair",
+                    detail="cleaner repaired stripe 1 parity")
+    ops = raid.read(stale_lpage + 1)  # now reconstructible
+    expected = bytes([(stale_lpage + 1) % 251]) * 64
+    assert bytes(raid.read_data(stale_lpage + 1)) == expected
+    schedule.record(3.1, f"disk{victim.disk}", "reconstruction",
+                    victim.disk_page,
+                    detail="degraded read served once parity was repaired")
+    raid.repair_page(victim.disk, victim.disk_page)
+    schedule.record(3.2, f"disk{victim.disk}", "media_repair",
+                    victim.disk_page, detail="window closed; array consistent")
+    assert not raid.media_errors and not raid.stale_stripes
+    return schedule.event_rows()

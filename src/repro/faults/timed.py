@@ -34,7 +34,7 @@ from collections.abc import Iterable, Iterator
 from ..cache.base import CachePolicy
 from ..disk.hdd import HDDParams
 from ..engine.hooks import FaultPipelineHook
-from ..errors import ConfigError
+from ..errors import ConfigError, DegradedError, raises
 from ..flash.device import SSDLatency
 from ..raid.rebuild import RebuildReport, finish_rebuild, iter_rebuild_ops
 from ..sim.system import TimedSystem
@@ -88,6 +88,7 @@ class FaultyTimedSystem(TimedSystem):
         return self._pipeline.fault_row()
 
 
+@raises(DegradedError)
 def rebuild_under_load(
     system: TimedSystem,
     disk: int,

@@ -28,6 +28,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..devtools.lint.cli import main as lint_main
 
         return lint_main(args_in[1:])
+    if args_in[:1] == ["analyze"]:
+        from ..devtools.analyze.cli import main as analyze_main
+
+        return analyze_main(args_in[1:])
 
     parser = argparse.ArgumentParser(
         prog="kdd-repro",
@@ -75,6 +79,13 @@ def main(argv: list[str] | None = None) -> int:
         "lint",
         help="run the kdd-lint static analyzer (determinism/taxonomy/unit "
         "invariants); same as the kdd-lint console script",
+        add_help=False,
+    )
+
+    sub.add_parser(
+        "analyze",
+        help="whole-program analysis: layering contract, unit/RNG taint, "
+        "exception-flow contracts; exports the import graph",
         add_help=False,
     )
 
@@ -218,7 +229,8 @@ def _parse_rates(text: str, what: str) -> list[float]:
 def _faults_command(args) -> int:
     import json
 
-    from ..faults import RETRY_POLICIES, demo_event_log, demo_op_trace, faults_cell
+    from ..faults import RETRY_POLICIES, demo_event_log
+    from .faultsweep import demo_op_trace, faults_cell
     from .report import render_table
     from .sweep import trace_desc
 

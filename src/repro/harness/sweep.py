@@ -283,7 +283,7 @@ def _run_stats_cell(cell: SweepCell) -> dict[str, Any]:
 
 
 def _run_faults_cell(cell: SweepCell) -> dict[str, Any]:
-    from ..faults.experiment import run_faults_cell
+    from .faultsweep import run_faults_cell
 
     return run_faults_cell(cell, _trace_for(cell.trace))
 

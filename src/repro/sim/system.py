@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..cache.base import CachePolicy
 from ..disk.hdd import HDDParams
+from ..errors import SimulationError, raises
 from ..engine.hooks import EngineHook
 from ..engine.resources import QueueDiscipline
 from ..engine.system import SimEngine
@@ -87,10 +88,12 @@ class TimedSystem:
         """Install an engine hook (fault pipeline, instrumentation, ...)."""
         self.engine.add_hook(hook)
 
+    @raises(SimulationError)
     def submit(self, lba: int, npages: int, is_read: bool, arrival: float) -> float:
         """Process one request; returns its completion time."""
         return self.engine.submit(lba, npages, is_read, arrival)
 
+    @raises(SimulationError)
     def submit_request(self, req: IORequest) -> float:
         return self.submit(req.lba, req.npages, req.is_read, req.time)
 
@@ -103,6 +106,7 @@ class TimedSystem:
             requests=len(self.recorder),
         )
 
+    @raises(SimulationError)
     def inject_disk_ops(self, ops: Sequence[DiskOp], at: float) -> float:
         """Schedule external member I/O (e.g. rebuild traffic) at ``at``.
 

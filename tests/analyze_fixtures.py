@@ -1,0 +1,24 @@
+"""Fixture-tree builder shared by the whole-program analyzer tests."""
+
+import textwrap
+
+
+def write_fixture_tree(root, files):
+    """Materialise a ``repro`` package tree for the whole-program analyzer.
+
+    ``files`` maps paths relative to the fixture ``repro`` root (e.g.
+    ``"sim/api.py"``) to dedented source.  Every directory gets an
+    ``__init__.py`` so the tree parses as a real package.  Returns the
+    package root path.
+    """
+    pkg = root / "repro"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for rel, source in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    for directory in [pkg, *[d for d in pkg.rglob("*") if d.is_dir()]]:
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    return pkg

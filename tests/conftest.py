@@ -9,8 +9,23 @@ does); the default profile keeps local runs exploratory.
 
 import os
 
+import pytest
 from hypothesis import settings
+
+from tests.analyze_fixtures import write_fixture_tree
 
 settings.register_profile("ci", derandomize=True, print_blob=True,
                           deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+@pytest.fixture
+def analyze_tree(tmp_path):
+    """Factory: fixture files -> loaded analyzer ``Project``."""
+
+    def build(files):
+        from repro.devtools.analyze import Project
+
+        return Project.load([write_fixture_tree(tmp_path, files)])
+
+    return build

@@ -88,7 +88,7 @@ def fio_cells():
 
 def faults_cells():
     """Fault-sweep cells: retry policies under URE + timeout injection."""
-    from repro.faults import faults_cell
+    from repro.harness.faultsweep import faults_cell
     from repro.harness.sweep import trace_desc
 
     trace = trace_desc("uniform", n_requests=400, universe_pages=8192,

@@ -1,0 +1,53 @@
+"""Tier-1 gate: ``src/repro`` is whole-program-analysis clean.
+
+The analyzer's findings over the real tree must be empty (with no
+baseline), including the opt-in dead-code report, and two runs must
+render byte-identical output — the same discipline kdd-lint is held to
+by ``test_lint_clean``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.analyze import Project
+from repro.devtools.analyze.cli import analyze_project
+from repro.devtools.analyze.graphio import architecture_md, graph_dot, graph_json
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def project():
+    return Project.load([SRC_REPRO])
+
+
+def test_src_repro_is_analyze_clean(project):
+    findings = analyze_project(project)
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"kdd-repro analyze findings:\n{rendered}"
+
+
+def test_src_repro_has_no_dead_public_symbols(project):
+    findings = analyze_project(project, dead_code=True)
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"dead-code findings:\n{rendered}"
+
+
+def test_output_is_byte_identical_across_runs(project):
+    def render(proj):
+        findings = analyze_project(proj, dead_code=True)
+        return (
+            json.dumps([f.to_json() for f in findings], sort_keys=True)
+            + graph_json(proj) + graph_dot(proj) + architecture_md(proj)
+        )
+
+    assert render(project) == render(Project.load([SRC_REPRO]))
+
+
+def test_architecture_doc_is_current(project):
+    """docs/architecture.md is generated; regenerate it when the import
+    graph changes: kdd-repro analyze --write-docs docs/architecture.md"""
+    doc = SRC_REPRO.parent.parent / "docs" / "architecture.md"
+    assert doc.read_text(encoding="utf-8") == architecture_md(project)

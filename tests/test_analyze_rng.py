@@ -1,0 +1,196 @@
+"""RNG-stream provenance (RPR105 shared streams, RPR106 module globals).
+
+Every ``numpy.random.Generator`` must be constructed per device or per
+sweep cell from a derived seed and owned by exactly one consumer; the
+analysis must catch sharing through attribute stores, aliases, and
+retaining call boundaries while staying silent on the sanctioned
+one-stream-per-owner loop pattern.
+"""
+
+from repro.devtools.analyze.rngflow import check_rng_provenance
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+class TestSharedStream:
+    def test_stream_stored_into_two_attributes(self, analyze_tree):
+        project = analyze_tree({
+            "faults/sched.py": """\
+                import numpy as np
+
+                class Pipeline:
+                    def wire(self, seed):
+                        rng = np.random.default_rng(seed)
+                        self.disk_rng = rng
+                        self.flash_rng = rng
+            """,
+        })
+        findings = check_rng_provenance(project)
+        assert codes(findings) == ["RPR105"]
+        assert "'rng'" in findings[0].message
+        assert "2 owners" in findings[0].message
+
+    def test_alias_does_not_launder_the_stream(self, analyze_tree):
+        project = analyze_tree({
+            "faults/sched.py": """\
+                import numpy as np
+
+                class Pipeline:
+                    def wire(self, seed):
+                        rng = np.random.default_rng(seed)
+                        shared = rng
+                        self.disk_rng = rng
+                        self.flash_rng = shared
+            """,
+        })
+        findings = check_rng_provenance(project)
+        assert codes(findings) == ["RPR105"]
+
+    def test_stream_shared_via_retaining_callee(self, analyze_tree):
+        project = analyze_tree({
+            "disk/model.py": """\
+                class Disk:
+                    def __init__(self, rng):
+                        self.rng = rng
+            """,
+            "faults/sched.py": """\
+                import numpy as np
+
+                from ..disk.model import Disk
+
+                def build(seed):
+                    rng = np.random.default_rng(seed)
+                    return Disk(rng), Disk(rng)
+            """,
+        })
+        findings = check_rng_provenance(project)
+        assert codes(findings) == ["RPR105"]
+        assert "repro.disk.model:Disk.__init__" in findings[0].message
+
+    def test_subscript_registry_counts_as_owner(self, analyze_tree):
+        project = analyze_tree({
+            "faults/sched.py": """\
+                import numpy as np
+
+                def build(seed, registry):
+                    rng = np.random.default_rng(seed)
+                    registry["disk0"] = rng
+                    registry["disk1"] = rng
+                    return registry
+            """,
+        })
+        assert codes(check_rng_provenance(project)) == ["RPR105"]
+
+    def test_per_device_loop_is_clean(self, analyze_tree):
+        """The sanctioned pattern: one fresh derived stream per owner."""
+        project = analyze_tree({
+            "faults/sched.py": """\
+                import numpy as np
+
+                class Disk:
+                    def __init__(self, rng):
+                        self.rng = rng
+
+                def build(seed, n):
+                    disks = []
+                    for i in range(n):
+                        rng = np.random.default_rng((seed, i))
+                        disks.append(Disk(rng))
+                    return disks
+            """,
+        })
+        assert check_rng_provenance(project) == []
+
+    def test_non_retaining_callee_is_not_a_sink(self, analyze_tree):
+        project = analyze_tree({
+            "faults/sched.py": """\
+                import numpy as np
+
+                def draw(rng):
+                    return rng.integers(0, 10)
+
+                def build(seed):
+                    rng = np.random.default_rng(seed)
+                    a = draw(rng)
+                    b = draw(rng)
+                    return a + b
+            """,
+        })
+        assert check_rng_provenance(project) == []
+
+    def test_stream_class_construction_tracked(self, analyze_tree):
+        """A project class that builds a Generator in __init__ is itself
+        a stream source; sharing one instance across owners is RPR105."""
+        project = analyze_tree({
+            "faults/stream.py": """\
+                import numpy as np
+
+                class FaultStream:
+                    def __init__(self, seed):
+                        self._rng = np.random.default_rng(seed)
+            """,
+            "faults/sched.py": """\
+                from .stream import FaultStream
+
+                class Pipeline:
+                    def wire(self, seed):
+                        stream = FaultStream(seed)
+                        self.disk_stream = stream
+                        self.flash_stream = stream
+            """,
+        })
+        assert codes(check_rng_provenance(project)) == ["RPR105"]
+
+    def test_stream_returning_helper_tracked(self, analyze_tree):
+        project = analyze_tree({
+            "faults/stream.py": """\
+                import numpy as np
+
+                def derive_rng(seed, label):
+                    return np.random.default_rng((seed, label))
+            """,
+            "faults/sched.py": """\
+                from .stream import derive_rng
+
+                class Pipeline:
+                    def wire(self, seed):
+                        rng = derive_rng(seed, "disk")
+                        self.disk_rng = rng
+                        self.flash_rng = rng
+            """,
+        })
+        assert codes(check_rng_provenance(project)) == ["RPR105"]
+
+
+class TestModuleScope:
+    def test_module_global_stream_is_rpr106(self, analyze_tree):
+        project = analyze_tree({
+            "faults/sched.py": """\
+                import numpy as np
+
+                RNG = np.random.default_rng(1234)
+            """,
+        })
+        findings = check_rng_provenance(project)
+        assert codes(findings) == ["RPR106"]
+        assert "module scope" in findings[0].message
+
+    def test_from_import_constructor_form(self, analyze_tree):
+        project = analyze_tree({
+            "faults/sched.py": """\
+                from numpy.random import default_rng
+
+                RNG = default_rng(1234)
+            """,
+        })
+        assert codes(check_rng_provenance(project)) == ["RPR106"]
+
+    def test_seed_constant_at_module_scope_is_fine(self, analyze_tree):
+        project = analyze_tree({
+            "faults/sched.py": """\
+                DEFAULT_SEED = 1234
+            """,
+        })
+        assert check_rng_provenance(project) == []

@@ -25,11 +25,11 @@ from repro.faults import (
     RetryPolicy,
     Scrubber,
     demo_event_log,
-    faults_cell,
     rebuild_under_load,
     retry_policy,
 )
 from repro.harness.cli import main as cli_main
+from repro.harness.faultsweep import faults_cell
 from repro.harness.runner import build_policy
 from repro.harness.sweep import SweepEngine, trace_desc
 from repro.raid import RAIDArray, RaidLevel, rebuild_disk
