@@ -19,14 +19,35 @@ import os
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.harness.sweep import SweepEngine
 
 #: Scale used by trace-driven benches; small enough for quick rounds,
 #: large enough that cache-size sweeps stay meaningful.
 BENCH_SCALE = 0.004
 
+
+def _parse_jobs(raw: str) -> int:
+    """Parse the BENCH_JOBS knob, rejecting junk with a ConfigError.
+
+    A malformed value is a configuration mistake, so it must surface as
+    :class:`ConfigError` naming the offending value — not as a bare
+    ``ValueError`` traceback at collection time.
+    """
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"BENCH_JOBS must be an integer number of worker processes, "
+            f"got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ConfigError(f"BENCH_JOBS must be >= 1, got {raw!r}")
+    return jobs
+
+
 #: Worker processes for sweep grids (results are job-count invariant).
-BENCH_JOBS = int(os.environ.get("BENCH_JOBS", "1"))
+BENCH_JOBS = _parse_jobs(os.environ.get("BENCH_JOBS", "1"))
 
 
 @pytest.fixture

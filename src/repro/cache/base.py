@@ -58,8 +58,16 @@ class CacheConfig:
             raise ConfigError("cache_pages must be >= 1")
         if not 0.0 < self.meta_partition_frac < 0.2:
             raise ConfigError("meta_partition_frac must be in (0, 0.2)")
-        if not 0.0 < self.low_watermark <= self.dirty_threshold <= 1.0:
-            raise ConfigError("need 0 < low_watermark <= dirty_threshold <= 1")
+        # The watermarks must be strictly ordered: with low_watermark ==
+        # dirty_threshold the cleaner oscillates (every access past the
+        # threshold triggers a full cleaning pass), and inverted values
+        # would silently disable the stop condition entirely.
+        if not 0.0 < self.low_watermark < self.dirty_threshold <= 1.0:
+            raise ConfigError(
+                "need 0 < low_watermark < dirty_threshold <= 1, got "
+                f"low_watermark={self.low_watermark} "
+                f"dirty_threshold={self.dirty_threshold}"
+            )
 
     @property
     def meta_pages(self) -> int:
@@ -162,6 +170,9 @@ class CachePolicy(ABC):
         self.config = config
         self.raid = raid
         self.stats = TrafficCounters()
+        # meta_pages is a derived property of the config; snapshot it once
+        # so the per-access lpn arithmetic does not re-derive it.
+        self.meta_pages = config.meta_pages
         self.ssd: SSD | None = None
         if config.flash_model:
             total = config.cache_pages + self.meta_pages
@@ -172,10 +183,6 @@ class CachePolicy(ABC):
             self.ssd = SSD(geometry=geometry)
 
     # -- SSD accounting helpers ------------------------------------------
-
-    @property
-    def meta_pages(self) -> int:
-        return self.config.meta_pages
 
     def _ssd_write(self, lpn: int, kind: str) -> None:
         """Count one SSD page write; drives the flash model if attached."""
@@ -218,13 +225,25 @@ class CachePolicy(ABC):
     def finish(self) -> None:
         """Flush background state at end of run (parity repairs etc.)."""
 
-    def process_trace(self, trace: Trace) -> TrafficCounters:
-        """Run a whole trace through the policy and return the counters."""
-        for req in trace:
-            for lba in req.pages():
-                self.access(lba, req.is_read)
+    def process_trace(self, trace: Trace, vectorized: bool = False) -> TrafficCounters:
+        """Run a whole trace through the policy and return the counters.
+
+        With ``vectorized=True`` the policy may take a columnar fast path
+        (batched classification, counter-only RAID accounting) when its
+        configuration allows; the fast path produces identical counters
+        and eviction behaviour, and any ineligible configuration falls
+        back to the scalar per-access loop automatically.
+        """
+        if not (vectorized and self._process_columnar(trace)):
+            for req in trace:
+                for lba in req.pages():
+                    self.access(lba, req.is_read)
         self.finish()
         return self.stats
+
+    def _process_columnar(self, trace: Trace) -> bool:
+        """Batched trace processing hook; return True if fully handled."""
+        return False
 
     # -- verification ------------------------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..nvram.metabuffer import PageState
-from ..raid.array import RAIDArray
+from ..raid.array import FastAccounting, RAIDArray
 from .base import CacheConfig, Outcome
 from .common import SetAssocPolicy
 from .sets import CacheLine
@@ -114,6 +114,42 @@ class LeavO(SetAssocPolicy):
             out.bg_ssd_writes += 1
         return out
 
+    def _fast_write_ok(self, fast: FastAccounting) -> bool:
+        # write hits delay the parity update, which needs a parity level
+        return fast.delayed_ok
+
+    def _write_fast(self, lba: int) -> None:
+        line = self.sets.lookup(lba)
+        if line is None:
+            self.stats.write_misses += 1
+            self._fast.write(1)
+            line = self._alloc_line(lba, PageState.CLEAN)
+            if line is not None:
+                self._on_line_allocated(line, "data")
+            return
+        self.stats.write_hits += 1
+        self.sets.touch(lba)
+        if line.state is PageState.OLD:
+            self.stats.data_writes += 1
+            self._meta_update()
+            self._fast.write_delayed(self.raid.layout.stripe_of(lba))
+            self._maybe_clean()
+            return
+        twin = self._acquire_twin_slot(line)
+        if twin is None:
+            self.stats.bypasses += 1
+            self.stats.data_writes += 1
+            self._fast.write(1)
+            return
+        self.sets.set_state(lba, PageState.OLD)
+        line.aux = twin
+        self.stats.data_writes += 1
+        self._meta_update()
+        stripe = self.raid.layout.stripe_of(lba)
+        self._fast.write_delayed(stripe)
+        self._stale_order.setdefault(stripe, None)
+        self._maybe_clean()
+
     def _acquire_twin_slot(self, line: CacheLine) -> int | None:
         slot = self.sets.borrow_slot(line.set_idx)
         if slot is not None:
@@ -132,10 +168,12 @@ class LeavO(SetAssocPolicy):
         # each OLD line pins two slots (old + latest)
         return 2 * self.sets.count(PageState.OLD)
 
-    def _maybe_clean(self, out: Outcome) -> None:
+    def _maybe_clean(self, out: Outcome | None = None) -> None:
         limit = self.config.dirty_threshold * self.config.cache_pages
         if self._pinned_pages <= limit:
             return
+        if out is None:  # columnar fast path: background ops are discarded
+            out = Outcome(hit=False, is_read=False)
         target = self.config.low_watermark * self.config.cache_pages
         while self._stale_order and self._pinned_pages > target:
             stripe = next(iter(self._stale_order))
@@ -143,16 +181,15 @@ class LeavO(SetAssocPolicy):
             self._clean_stripe(stripe, out)
 
     def _clean_stripe(self, stripe: int, out: Outcome) -> None:
-        stripe_lbas = list(self.raid.layout.stripe_pages(stripe))
+        stripe_lbas = self.raid.layout.stripe_pages(stripe)
+        cached = self.sets.resident_in_range(stripe_lbas.start, stripe_lbas.stop)
         old_lines = [
-            l
-            for lba in stripe_lbas
-            if (l := self.sets.lookup(lba)) is not None and l.state is PageState.OLD
+            l for lba in cached
+            if (l := self.sets.lookup(lba)).state is PageState.OLD
         ]
         if not old_lines:
             self.raid.parity_update(stripe, deltas={}, cached_pages=[])
             return
-        cached = [lba for lba in stripe_lbas if lba in self.sets]
         all_cached = len(cached) == len(stripe_lbas)
         # SSD reads to source the parity computation: old+new per changed
         # page for rmw, every data page for rcw.

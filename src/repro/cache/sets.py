@@ -13,11 +13,12 @@ which is how cache decisions turn into flash traffic.
 
 from __future__ import annotations
 
-import heapq
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from typing import Any
+
+import numpy as np
 
 from ..errors import CacheError, ConfigError
 from ..nvram.metabuffer import PageState
@@ -26,7 +27,7 @@ from ..nvram.metabuffer import PageState
 _HASH_MULT = 2654435761
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One occupied DAZ slot."""
 
@@ -67,8 +68,14 @@ class CacheSets:
         self._sets = [_CacheSet(self.ways) for _ in range(self.n_sets)]
         self._index: dict[int, CacheLine] = {}  # lba -> line (the primary map core)
         self._state_counts = {s: 0 for s in PageState}
-        self._dez_heap: list[tuple[int, int]] = [(0, i) for i in range(self.n_sets)]
-        heapq.heapify(self._dez_heap)
+        # Columnar mirror of the DAZ directory: slot -> resident lba (-1 when
+        # the slot is free, borrowed, or holds a DEZ page).  Kept in lockstep
+        # by alloc/remove/adopt_borrowed so membership of a whole address
+        # batch can be classified with one gather+compare (see classify()).
+        self._lba_table = np.full((self.n_sets, self.ways), -1, dtype=np.int64)
+        #: Membership-mutation epoch: bumped on every alloc/remove, so
+        #: batched classifications can detect when a snapshot went stale.
+        self.mutations = 0
 
     # -- placement ----------------------------------------------------------
 
@@ -80,6 +87,42 @@ class CacheSets:
         """Cache set for a DAZ page: hash of its stripe group."""
         group = lba // self.group_pages
         return (group * _HASH_MULT) % self.n_sets
+
+    #: Largest lba whose set hash fits int64 arithmetic without overflow
+    #: for any group_pages >= 1 (group <= lba); callers go scalar past it.
+    MAX_VECTOR_LBA = (2**62) // _HASH_MULT
+
+    def set_of_batch(self, lbas: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`set_of` for an int64 address batch."""
+        return ((lbas // self.group_pages) * _HASH_MULT) % self.n_sets
+
+    def classify(self, lbas: np.ndarray) -> np.ndarray:
+        """Batched hit/miss classification against the DAZ directory.
+
+        Returns a boolean array: True where the address was resident at
+        call time.  The result is a *snapshot* — any alloc/remove (watch
+        :attr:`mutations`) invalidates it for the addresses that moved.
+        Addresses must not exceed :attr:`MAX_VECTOR_LBA` (the scalar
+        hash uses arbitrary-precision ints; the batch uses int64).
+        """
+        lbas = lbas.astype(np.int64, copy=False)
+        rows = self._lba_table[self.set_of_batch(lbas)]
+        return (rows == lbas[:, None]).any(axis=1)
+
+    def resident_in_range(self, start: int, stop: int) -> list[int]:
+        """Ascending resident lbas in ``[start, stop)``, batch-classified.
+
+        Columnar replacement for a per-address membership scan (stripe
+        cleaners probe every page of a stripe); falls back to the scalar
+        scan for the (huge) addresses the int64 set hash cannot take.
+        """
+        if stop <= start:
+            return []
+        if stop - 1 > self.MAX_VECTOR_LBA:
+            index = self._index
+            return [lba for lba in range(start, stop) if lba in index]
+        arr = np.arange(start, stop, dtype=np.int64)
+        return arr[self.classify(arr)].tolist()
 
     def lpn_of(self, set_idx: int, slot: int) -> int:
         """SSD logical page backing a slot (relative to the data partition)."""
@@ -101,6 +144,13 @@ class CacheSets:
         line = self._index[lba]
         self._sets[line.set_idx].entries.move_to_end(lba)
 
+    def touch_many(self, lbas: Iterable[int]) -> None:
+        """:meth:`touch` a batch of resident lines, in order."""
+        index = self._index
+        sets = self._sets
+        for lba in lbas:
+            sets[index[lba].set_idx].entries.move_to_end(lba)
+
     def alloc(self, lba: int, state: PageState, aux: Any = None) -> CacheLine | None:
         """Allocate a DAZ line; returns None if the set has no free slot."""
         if lba in self._index:
@@ -114,6 +164,8 @@ class CacheSets:
         cset.entries[lba] = line
         self._index[lba] = line
         self._state_counts[state] += 1
+        self._lba_table[set_idx, slot] = lba
+        self.mutations += 1
         return line
 
     def set_state(self, lba: int, state: PageState) -> CacheLine:
@@ -132,12 +184,21 @@ class CacheSets:
         del cset.entries[lba]
         cset.free_slots.append(line.slot)
         self._state_counts[line.state] -= 1
+        self._lba_table[line.set_idx, line.slot] = -1
+        self.mutations += 1
         return line
 
     def evict_candidate(
         self, set_idx: int, states: Iterable[PageState] = (PageState.CLEAN,)
     ) -> CacheLine | None:
         """LRU-most line of the set whose state is evictable."""
+        states = tuple(states)
+        if len(states) == 1:
+            want = states[0]
+            for line in self._sets[set_idx].entries.values():  # LRU -> MRU
+                if line.state is want:
+                    return line
+            return None
         wanted = set(states)
         for line in self._sets[set_idx].entries.values():  # LRU -> MRU order
             if line.state in wanted:
@@ -191,6 +252,8 @@ class CacheSets:
         freed = line.slot
         cset.free_slots.append(freed)
         line.slot = borrowed_slot
+        self._lba_table[line.set_idx, freed] = -1
+        self._lba_table[line.set_idx, borrowed_slot] = lba
         return freed
 
     # -- DEZ slots -----------------------------------------------------------
@@ -213,31 +276,28 @@ class CacheSets:
         slot = cset.free_slots.pop()
         cset.dez_slots.add(slot)
         self._state_counts[PageState.DELTA] += 1
-        heapq.heappush(self._dez_heap, (len(cset.dez_slots), set_idx))
         return set_idx, slot
 
     def alloc_dez(self) -> tuple[int, int] | None:
         """Allocate a DEZ slot from the set with the fewest DEZ pages.
 
         Returns ``(set_idx, slot)`` or None when no set has a free slot
-        (the caller evicts a clean page or triggers cleaning).
+        (the caller evicts a clean page or triggers cleaning).  Ties go
+        to the lowest set index.  The set count is small (tens), so a
+        linear scan beats maintaining a priority queue under the churn
+        of the commit path.
         """
-        parked: list[tuple[int, int]] = []
-        found: tuple[int, int] | None = None
-        while self._dez_heap:
-            count, set_idx = heapq.heappop(self._dez_heap)
-            if count != len(self._sets[set_idx].dez_slots):
-                continue  # stale heap entry; a fresh one exists
-            if not self._sets[set_idx].free_slots:
-                parked.append((count, set_idx))
+        best = -1
+        best_count = 0
+        for set_idx, cset in enumerate(self._sets):
+            if not cset.free_slots:
                 continue
-            found = (count, set_idx)
-            break
-        for item in parked:
-            heapq.heappush(self._dez_heap, item)
-        if found is None:
+            count = len(cset.dez_slots)
+            if best < 0 or count < best_count:
+                best, best_count = set_idx, count
+        if best < 0:
             return None
-        return self.alloc_dez_at(found[1])
+        return self.alloc_dez_at(best)
 
     def free_dez(self, set_idx: int, slot: int) -> None:
         cset = self._sets[set_idx]
@@ -246,7 +306,6 @@ class CacheSets:
         cset.dez_slots.remove(slot)
         cset.free_slots.append(slot)
         self._state_counts[PageState.DELTA] -= 1
-        heapq.heappush(self._dez_heap, (len(cset.dez_slots), set_idx))
 
     def min_dez_set_with_clean(self) -> CacheLine | None:
         """Fallback for DEZ allocation: the LRU clean line of the least-DEZ
@@ -254,12 +313,15 @@ class CacheSets:
         best: CacheLine | None = None
         best_count = -1
         for set_idx in range(self.n_sets):
+            # check the (cheap) DEZ count before scanning the set's LRU
+            # list: a set that cannot beat the current best is irrelevant
+            count = len(self._sets[set_idx].dez_slots)
+            if best is not None and count >= best_count:
+                continue
             cand = self.evict_candidate(set_idx, (PageState.CLEAN,))
             if cand is None:
                 continue
-            count = len(self._sets[set_idx].dez_slots)
-            if best is None or count < best_count:
-                best, best_count = cand, count
+            best, best_count = cand, count
         return best
 
     # -- invariants ----------------------------------------------------------
@@ -291,3 +353,8 @@ class CacheSets:
             raise CacheError("index/set entry mismatch")
         if self.dez_pages != sum(len(s.dez_slots) for s in self._sets):
             raise CacheError("DEZ count mismatch")
+        if int((self._lba_table >= 0).sum()) != len(self._index):
+            raise CacheError("lba table population does not match the index")
+        for lba, line in self._index.items():
+            if int(self._lba_table[line.set_idx, line.slot]) != lba:
+                raise CacheError(f"lba table mismatch for page {lba}")

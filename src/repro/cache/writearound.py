@@ -8,6 +8,7 @@ invalidating cached pages that get overwritten.
 
 from __future__ import annotations
 
+from ..raid.array import FastAccounting
 from .base import Outcome
 from .common import SetAssocPolicy
 
@@ -16,6 +17,18 @@ class WriteAround(SetAssocPolicy):
     """Allocate on read miss only; writes go around the cache."""
 
     name = "wa"
+
+    def _fast_write_ok(self, fast: FastAccounting) -> bool:
+        return True
+
+    def _write_fast(self, lba: int) -> None:
+        self._fast.write(1)
+        line = self.sets.lookup(lba)
+        if line is not None:
+            self.stats.write_hits += 1
+            self._drop_line(line)
+        else:
+            self.stats.write_misses += 1
 
     def write(self, lba: int) -> Outcome:
         disk_ops = self.raid.write(lba)

@@ -10,6 +10,7 @@ stream (bad for flash endurance).
 from __future__ import annotations
 
 from ..nvram.metabuffer import PageState
+from ..raid.array import FastAccounting
 from .base import Outcome
 from .common import SetAssocPolicy
 
@@ -18,6 +19,22 @@ class WriteThrough(SetAssocPolicy):
     """Write-allocate, write-through; all pages are clean."""
 
     name = "wt"
+
+    def _fast_write_ok(self, fast: FastAccounting) -> bool:
+        return True
+
+    def _write_fast(self, lba: int) -> None:
+        self._fast.write(1)
+        line = self.sets.lookup(lba)
+        if line is not None:
+            self.stats.write_hits += 1
+            self.sets.touch(lba)
+            self.stats.data_writes += 1
+            return
+        self.stats.write_misses += 1
+        line = self._alloc_line(lba, PageState.CLEAN)
+        if line is not None:
+            self._on_line_allocated(line, "data")
 
     def write(self, lba: int) -> Outcome:
         disk_ops = self.raid.write(lba)

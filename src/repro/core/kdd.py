@@ -42,10 +42,10 @@ from ..delta.packer import DELTA_HEADER_BYTES, pack_deltas
 from ..errors import CacheError, ConfigError
 from ..nvram.metabuffer import MappingEntry, PageState
 from ..nvram.staging import StagingBuffer
-from ..raid.array import RAIDArray
+from ..raid.array import FastAccounting, RAIDArray
 
 
-@dataclass
+@dataclass(slots=True)
 class DeltaRef:
     """Location of the latest delta for an *old* DAZ page.
 
@@ -57,7 +57,7 @@ class DeltaRef:
     dez_lpn: int | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DezPage:
     """One committed Delta Zone page."""
 
@@ -115,6 +115,10 @@ class KDD(SetAssocPolicy):
         self._stale_order: OrderedDict[int, None] = OrderedDict()
         self.cleanings = 0
         self.forced_cleanings = 0
+        # Hot-path constants (same expressions the code used inline).
+        self._max_delta = config.page_size - DELTA_HEADER_BYTES
+        self._dirty_limit = config.dirty_threshold * config.cache_pages
+        self._clean_target = config.low_watermark * config.cache_pages
 
     # -- metadata helpers --------------------------------------------------
 
@@ -203,6 +207,25 @@ class KDD(SetAssocPolicy):
         self._ssd_read(1)
         return Outcome(hit=True, is_read=True, fg_ssd_reads=1)
 
+    def _read_hit_fast(self, line: CacheLine) -> None:
+        if line.state is PageState.OLD and line.aux.dez_lpn is not None:
+            self.stats.ssd_reads += 2
+        else:
+            self.stats.ssd_reads += 1
+
+    def _bulk_read_hits(self, lbas: list[int]) -> None:
+        self.stats.read_hits += len(lbas)
+        sets = self.sets
+        reads = 0
+        for lba in lbas:
+            sets.touch(lba)
+            line = sets.lookup(lba)
+            if line.state is PageState.OLD and line.aux.dez_lpn is not None:
+                reads += 2
+            else:
+                reads += 1
+        self.stats.ssd_reads += reads
+
     # -- writes --------------------------------------------------------------------
 
     def write(self, lba: int) -> Outcome:
@@ -215,10 +238,7 @@ class KDD(SetAssocPolicy):
 
         # generate the new delta (size drawn from the content-locality model,
         # capped so any single delta fits one DEZ page with its header)
-        size = min(
-            self.delta_model.sample_size(),
-            self.config.page_size - DELTA_HEADER_BYTES,
-        )
+        size = min(self.delta_model.sample_size(), self._max_delta)
         out = Outcome(
             hit=True,
             is_read=False,
@@ -263,9 +283,44 @@ class KDD(SetAssocPolicy):
         self._maybe_clean(out)
         return out
 
+    def _fast_write_ok(self, fast: FastAccounting) -> bool:
+        # write hits delay the parity update, which needs a parity level
+        return fast.delayed_ok
+
+    def _write_fast(self, lba: int) -> None:
+        line = self.sets.lookup(lba)
+        if line is None:
+            self.stats.write_misses += 1
+            self._fast.write(1)
+            line = self._alloc_line(lba, PageState.CLEAN)
+            if line is not None:
+                self._on_line_allocated(line, "data")
+            self._maybe_clean()
+            return
+        self.stats.write_hits += 1
+        self.sets.touch(lba)
+        size = min(self.delta_model.sample_size(), self._max_delta)
+        stripe = lba // self.raid.layout.stripe_data_pages
+        self._fast.write_delayed(stripe)
+        self.stats.ssd_reads += 1
+        if line.state is PageState.CLEAN:
+            self.sets.set_state(lba, PageState.OLD)
+            line.aux = DeltaRef(size=size)
+        else:
+            ref: DeltaRef = line.aux
+            if ref.dez_lpn is None:
+                self.staging.remove(lba)
+            else:
+                self._invalidate_dez_delta(lba, ref)
+            ref.size = size
+            ref.dez_lpn = None
+        self._stale_order.setdefault(stripe, None)
+        self._stage_delta(lba, size)
+        self._maybe_clean()
+
     # -- staging and the Delta Zone ----------------------------------------------
 
-    def _stage_delta(self, lba: int, size: int, out: Outcome) -> None:
+    def _stage_delta(self, lba: int, size: int, out: Outcome | None = None) -> None:
         if not self.staging.would_fit_after_coalesce(lba, size):
             self._commit_staging(out)
             # The commit may have force-cleaned this page's stripe (cache
@@ -276,7 +331,7 @@ class KDD(SetAssocPolicy):
                 return
         self.staging.put(lba, size)
 
-    def _commit_staging(self, out: Outcome) -> None:
+    def _commit_staging(self, out: Outcome | None = None) -> None:
         """Compact all staged deltas into DEZ pages and flush them.
 
         With the default one-page staging buffer everything fits one DEZ
@@ -286,6 +341,8 @@ class KDD(SetAssocPolicy):
         items = self.staging.drain()
         if not items:
             return
+        if out is None:  # columnar fast path: background ops are discarded
+            out = Outcome(hit=False, is_read=False)
         # greedy first-fit grouping into page-sized DEZ commits
         groups: list[list] = [[]]
         used = 0
@@ -383,11 +440,12 @@ class KDD(SetAssocPolicy):
         """Old + delta pages: what cleaning is triggered on."""
         return self.sets.count(PageState.OLD) + self.sets.dez_pages
 
-    def _maybe_clean(self, out: Outcome) -> None:
-        limit = self.config.dirty_threshold * self.config.cache_pages
-        if self.dirty_pages <= limit:
+    def _maybe_clean(self, out: Outcome | None = None) -> None:
+        if self.dirty_pages <= self._dirty_limit:
             return
-        target = self.config.low_watermark * self.config.cache_pages
+        if out is None:  # columnar fast path: background ops are discarded
+            out = Outcome(hit=False, is_read=False)
+        target = self._clean_target
         while self._stale_order and self.dirty_pages > target:
             stripe = next(iter(self._stale_order))
             del self._stale_order[stripe]
@@ -400,13 +458,12 @@ class KDD(SetAssocPolicy):
         dropped_staging: dict[int, int] | None = None,
     ) -> None:
         """Repair one stripe's parity and reclaim its old pages."""
-        stripe_lbas = list(self.raid.layout.stripe_pages(stripe))
+        stripe_lbas = self.raid.layout.stripe_pages(stripe)
+        cached = self.sets.resident_in_range(stripe_lbas.start, stripe_lbas.stop)
         old_lines = [
-            l
-            for lba in stripe_lbas
-            if (l := self.sets.lookup(lba)) is not None and l.state is PageState.OLD
+            l for lba in cached
+            if (l := self.sets.lookup(lba)).state is PageState.OLD
         ]
-        cached = [lba for lba in stripe_lbas if lba in self.sets]
         deltas = {l.lba: b"" for l in old_lines}
         if dropped_staging:
             deltas.update({lba: b"" for lba in dropped_staging})

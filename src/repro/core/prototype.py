@@ -245,13 +245,12 @@ class KDDDataPath:
                 break
 
     def _clean_stripe(self, stripe: int) -> None:
-        lbas = list(self.raid.layout.stripe_pages(stripe))
+        lbas = self.raid.layout.stripe_pages(stripe)
+        cached = self.sets.resident_in_range(lbas.start, lbas.stop)
         old_lines = [
-            l
-            for lba in lbas
-            if (l := self.sets.lookup(lba)) is not None and l.state is PageState.OLD
+            l for lba in cached
+            if (l := self.sets.lookup(lba)).state is PageState.OLD
         ]
-        cached = [lba for lba in lbas if lba in self.sets]
         self.raid.parity_update(
             stripe, deltas={l.lba: b"" for l in old_lines}, cached_pages=cached
         )

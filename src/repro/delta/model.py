@@ -46,6 +46,15 @@ class GaussianDeltaModel:
         self.min_ratio = min_ratio
         self.max_ratio = max_ratio
         self._rng = np.random.default_rng(seed)
+        # Draws are buffered in blocks: Generator.normal(m, s, size=N)
+        # consumes the bit stream exactly like N scalar calls, so the
+        # sequence of ratios is unchanged — only the per-call overhead is
+        # amortized (the KDD write hit path samples once per hit).
+        self._buf = np.empty(0)
+        self._buf_pos = 0
+
+    #: Draws buffered per RNG call.
+    BLOCK = 256
 
     @classmethod
     def for_locality(cls, level: str, **kwargs) -> "GaussianDeltaModel":
@@ -60,7 +69,11 @@ class GaussianDeltaModel:
 
     def sample_ratio(self) -> float:
         """One compression ratio draw, clipped to the configured range."""
-        r = self._rng.normal(self.mean, self.sigma)
+        if self._buf_pos >= len(self._buf):
+            self._buf = self._rng.normal(self.mean, self.sigma, size=self.BLOCK)
+            self._buf_pos = 0
+        r = self._buf[self._buf_pos]
+        self._buf_pos += 1
         return float(min(self.max_ratio, max(self.min_ratio, r)))
 
     def sample_size(self) -> int:

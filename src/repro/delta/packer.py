@@ -16,7 +16,7 @@ from ..errors import ConfigError
 DELTA_HEADER_BYTES = 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PackedDelta:
     """One delta's placement inside a packed DEZ page."""
 

@@ -1,0 +1,449 @@
+"""Performance benchmark harness with tracked ``BENCH_<fig>.json`` baselines.
+
+Each bench runs one figure's experiment grid at a pinned small scale
+twice — once through the scalar per-request path and once through the
+columnar fast path (``vectorized=True``, see
+:meth:`repro.cache.base.CachePolicy.process_trace`) — and emits one
+machine-readable ``BENCH_<fig>.json`` file:
+
+* ``ops`` / ``ops_per_s`` — page accesses processed per wall-second in
+  each mode, plus the total-time ``speedup`` and a per-policy breakdown
+  with its geometric mean (``geomean_speedup``);
+* ``row_checksum`` — SHA-256 over the canonical JSON of the result rows.
+  Scalar and vectorized rows must be byte-identical; a divergence is a
+  correctness bug and aborts the bench (:class:`SimulationError`);
+* for the timed figures (fig9 replay, fig10 fio), an ``engine`` section
+  with events processed per wall-second on the discrete-event loop.
+
+Regression tracking compares a fresh run against the committed baseline
+with :func:`compare_reports`.  Two classes of failure:
+
+* checksum drift — the simulation's numerics changed; regenerate the
+  baseline deliberately (``kdd-repro bench``) if the change is intended;
+* speedup regression — the vectorized/scalar *ratio* fell by more than
+  ``threshold`` (default 20 %).  The ratio is machine-independent, so
+  the gate is meaningful even when CI hardware differs from the machine
+  that produced the baseline.  Absolute ``ops_per_s`` / ``events_per_s``
+  are recorded for trajectory but never gated.
+
+Per-policy ceilings are structural, not incidental: policies whose hot
+path is pure cache bookkeeping (nossd, wa, wt) vectorize by orders of
+magnitude, while KDD's mlog/staging/DEZ-commit machinery is an
+event-ordered state machine that must run per request in both modes to
+keep rows byte-identical (see DESIGN.md, "What must stay
+event-ordered").
+
+This module is deliberately outside :mod:`repro.sim`/:mod:`repro.core`
+so it may read the wall clock (kdd-lint RPR001 exempts the harness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable
+
+from ..errors import ConfigError, SimulationError
+from ..traces.workloads import (
+    ALL_WORKLOADS,
+    READ_DOMINANT,
+    WRITE_DOMINANT,
+    make_workload,
+    workload_spec,
+)
+from .figures import FIG9_POLICIES, KDD_VARIANTS, _cache_sizes
+from .runner import build_policy, make_raid_for_trace, simulate_policy
+from .sweep import _canonical
+
+#: Pinned scale for the trace-driven benches (same as benchmarks/).
+BENCH_SCALE = 0.004
+
+#: Default regression threshold on the vectorized/scalar speedup ratio.
+BENCH_THRESHOLD = 0.20
+
+#: Target IOPS for the fig9 replay bench (mirrors figures.fig9).
+_REPLAY_TARGET_IOPS = 120.0
+_REPLAY_MAX_REQUESTS = 2000
+
+#: Pinned fig10 fio-bench shape (scaled-down figures.fig10 setup).
+_FIO_PARAMS = dict(total_requests=1200, working_set_pages=20_000,
+                   nthreads=16)
+_FIO_CACHE_PAGES = 8000
+_FIO_READ_RATES = (0.0, 0.5)
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One (policy, workload, cache size, config) benchmark cell."""
+
+    policy: str     # registry name ('kdd', 'wt', ...)
+    label: str      # reported name ('kdd-25' for locality variants)
+    workload: str
+    cache_pages: int
+    config: tuple[tuple[str, Any], ...]
+
+
+def _cell(policy: str, workload: str, cache_pages: int,
+          **config: Any) -> BenchCell:
+    label = policy
+    if policy in KDD_VARIANTS:
+        config["mean_compression"] = KDD_VARIANTS[policy]
+        policy = "kdd"
+    config.setdefault("seed", 0)
+    return BenchCell(policy=policy, label=label, workload=workload,
+                     cache_pages=cache_pages,
+                     config=tuple(sorted(config.items())))
+
+
+@lru_cache(maxsize=None)
+def _trace(name: str, scale: float):
+    return make_workload(name, scale)
+
+
+@lru_cache(maxsize=None)
+def _trace_ops(name: str, scale: float) -> int:
+    """Page accesses in one pass over the workload."""
+    return _trace(name, scale).stats().requests
+
+
+# ---------------------------------------------------------------------------
+# Figure grids (pinned, reduced versions of the figures.py grids)
+# ---------------------------------------------------------------------------
+
+def _grid(workloads, policies, scale: float, fraction: float,
+          **extra: Any) -> list[BenchCell]:
+    cells = []
+    for name in workloads:
+        cache_pages = _cache_sizes(name, scale, (fraction,))[0]
+        for policy in policies:
+            cells.append(_cell(policy, name, cache_pages, **extra))
+    return cells
+
+
+def _cells_fig4(scale: float) -> list[BenchCell]:
+    return [
+        _cell("kdd", name, _cache_sizes(name, scale, (0.20,))[0],
+              mean_compression=0.25, meta_partition_frac=frac)
+        for name in ALL_WORKLOADS
+        for frac in (0.0039, 0.0098)
+    ]
+
+
+_HIT_POLICIES = ("wt", "leavo", "kdd-50", "kdd-25", "kdd-12")
+_TRAFFIC_POLICIES = ("wa",) + _HIT_POLICIES
+
+_FIG_GRIDS: dict[str, Callable[[float], list[BenchCell]]] = {
+    "fig4": _cells_fig4,
+    "fig5": lambda s: _grid(WRITE_DOMINANT, _HIT_POLICIES, s, 0.10),
+    "fig6": lambda s: _grid(WRITE_DOMINANT, _TRAFFIC_POLICIES, s, 0.10),
+    "fig7": lambda s: _grid(READ_DOMINANT, _HIT_POLICIES, s, 0.10),
+    "fig8": lambda s: _grid(READ_DOMINANT, _TRAFFIC_POLICIES, s, 0.10),
+    "fig9": lambda s: _grid(ALL_WORKLOADS, FIG9_POLICIES, s, 0.10,
+                            mean_compression=0.25),
+}
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+def _checksum(rows: list[dict[str, Any]]) -> str:
+    return "sha256:" + hashlib.sha256(_canonical(rows).encode()).hexdigest()
+
+
+def _run_cells(cells: list[BenchCell], scale: float, vectorized: bool):
+    rows: list[dict[str, Any]] = []
+    per_policy: dict[str, float] = {}
+    wall = 0.0
+    for cell in cells:
+        trace = _trace(cell.workload, scale)
+        start = time.perf_counter()
+        result = simulate_policy(cell.policy, trace, cell.cache_pages,
+                                 vectorized=vectorized, **dict(cell.config))
+        elapsed = time.perf_counter() - start
+        row = result.row()
+        row["meta_writes"] = result.stats.meta_writes
+        row.update(result.extras)
+        row["policy"] = cell.label
+        rows.append(row)
+        wall += elapsed
+        per_policy[cell.label] = per_policy.get(cell.label, 0.0) + elapsed
+    return rows, wall, per_policy
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _bench_trace_grid(fig: str, cells: list[BenchCell],
+                      scale: float) -> dict[str, Any]:
+    for cell in cells:  # materialise traces outside the timed region
+        _trace(cell.workload, scale)
+    ops = sum(_trace_ops(c.workload, scale) for c in cells)
+    rows_s, wall_s, per_s = _run_cells(cells, scale, vectorized=False)
+    rows_v, wall_v, per_v = _run_cells(cells, scale, vectorized=True)
+    if rows_s != rows_v:
+        diverged = [
+            (a["policy"], a["workload"])
+            for a, b in zip(rows_s, rows_v) if a != b
+        ]
+        raise SimulationError(
+            f"{fig}: vectorized rows diverge from scalar rows for cells "
+            f"{diverged}; the columnar fast path must be result-identical"
+        )
+    floor = 1e-9
+    per_policy = {
+        label: {
+            "scalar_s": round(per_s[label], 4),
+            "vectorized_s": round(per_v[label], 4),
+            "speedup": round(per_s[label] / max(per_v[label], floor), 2),
+        }
+        for label in per_s
+    }
+    return {
+        "figure": fig,
+        "kind": "trace",
+        "scale": scale,
+        "cells": len(cells),
+        "ops": ops,
+        "scalar": {
+            "wall_s": round(wall_s, 4),
+            "ops_per_s": round(ops / max(wall_s, floor)),
+        },
+        "vectorized": {
+            "wall_s": round(wall_v, 4),
+            "ops_per_s": round(ops / max(wall_v, floor)),
+        },
+        "speedup": round(wall_s / max(wall_v, floor), 2),
+        "geomean_speedup": round(
+            _geomean([v["speedup"] for v in per_policy.values()]), 2
+        ),
+        "per_policy": per_policy,
+        "rows_identical": True,
+        "row_checksum": _checksum(rows_s),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Engine (discrete-event) benches — events per wall-second
+# ---------------------------------------------------------------------------
+
+def _bench_replay_engine(scale: float) -> dict[str, Any]:
+    """fig9's timed half: open-loop replay on the event engine (Fin1)."""
+    from ..cache.base import CacheConfig
+    from ..sim.openloop import replay_trace
+    from ..sim.system import TimedSystem
+
+    name = "Fin1"
+    trace = _trace(name, scale)
+    spec = workload_spec(name, scale)
+    time_scale = spec.iops / _REPLAY_TARGET_IOPS
+    cache_pages = _cache_sizes(name, scale, (0.10,))[0]
+    rows: list[dict[str, Any]] = []
+    events = 0
+    wall = 0.0
+    for policy in FIG9_POLICIES:
+        raid = make_raid_for_trace(trace)
+        config = CacheConfig(cache_pages=cache_pages, seed=0,
+                             mean_compression=0.25)
+        system = TimedSystem(build_policy(policy, config, raid))
+        start = time.perf_counter()
+        rep = replay_trace(system, trace,
+                           max_requests=_REPLAY_MAX_REQUESTS,
+                           time_scale=time_scale)
+        wall += time.perf_counter() - start
+        events += system.engine.loop.processed
+        rows.append({"workload": name, "policy": policy, **rep.row()})
+    return {
+        "workload": name,
+        "max_requests": _REPLAY_MAX_REQUESTS,
+        "cache_pages": cache_pages,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / max(wall, 1e-9)),
+        "row_checksum": _checksum(rows),
+    }
+
+
+def _bench_fio_engine() -> dict[str, Any]:
+    """fig10: closed-loop fio benchmark on the event engine."""
+    from ..cache.base import CacheConfig
+    from ..raid.array import RAIDArray
+    from ..raid.layout import RaidLevel
+    from ..sim.closedloop import FioConfig, run_closed_loop
+    from ..sim.system import TimedSystem
+
+    rows: list[dict[str, Any]] = []
+    events = 0
+    wall = 0.0
+    for read_rate in _FIO_READ_RATES:
+        for policy in FIG9_POLICIES:
+            fio = FioConfig(read_rate=read_rate, seed=0, **_FIO_PARAMS)
+            raid = RAIDArray(
+                RaidLevel.RAID5,
+                ndisks=5,
+                chunk_pages=16,
+                pages_per_disk=max(1 << 14, 2 * fio.working_set_pages),
+            )
+            config = CacheConfig(cache_pages=_FIO_CACHE_PAGES, seed=0,
+                                 mean_compression=0.25)
+            system = TimedSystem(build_policy(policy, config, raid))
+            start = time.perf_counter()
+            rep = run_closed_loop(system, fio)
+            wall += time.perf_counter() - start
+            events += system.engine.loop.processed
+            rows.append({"read_rate": read_rate, "policy": policy,
+                         **rep.row()})
+    return {
+        "cells": len(rows),
+        "cache_pages": _FIO_CACHE_PAGES,
+        "params": dict(_FIO_PARAMS, read_rates=list(_FIO_READ_RATES)),
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / max(wall, 1e-9)),
+        "row_checksum": _checksum(rows),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Per-figure entry points
+# ---------------------------------------------------------------------------
+
+def bench_figure(fig: str, scale: float = BENCH_SCALE) -> dict[str, Any]:
+    """Run one figure's bench and return its report dict."""
+    if fig == "fig10":
+        report = {"figure": "fig10", "kind": "engine",
+                  "engine": _bench_fio_engine()}
+        return report
+    if fig not in _FIG_GRIDS:
+        raise ConfigError(
+            f"unknown bench figure {fig!r}; choose from {sorted(BENCH_FIGURES)}"
+        )
+    report = _bench_trace_grid(fig, _FIG_GRIDS[fig](scale), scale)
+    if fig == "fig9":
+        report["engine"] = _bench_replay_engine(scale)
+    return report
+
+
+BENCH_FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+
+
+# ---------------------------------------------------------------------------
+# Baseline files and regression comparison
+# ---------------------------------------------------------------------------
+
+def report_path(fig: str, out_dir: str | Path = ".") -> Path:
+    return Path(out_dir) / f"BENCH_{fig}.json"
+
+
+def write_report(report: dict[str, Any], out_dir: str | Path = ".") -> Path:
+    path = report_path(report["figure"], out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def load_report(fig: str, out_dir: str | Path = ".") -> dict[str, Any] | None:
+    path = report_path(fig, out_dir)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare_reports(old: dict[str, Any], new: dict[str, Any],
+                    threshold: float = BENCH_THRESHOLD) -> list[str]:
+    """Regressions of ``new`` versus baseline ``old`` (empty = clean).
+
+    Gated: row checksums (exact) and the vectorized/scalar speedup ratio
+    (machine-independent).  Absolute throughput is informational only.
+    """
+    fig = new.get("figure", "?")
+    problems: list[str] = []
+    if old.get("row_checksum") != new.get("row_checksum"):
+        problems.append(
+            f"{fig}: result rows changed (checksum "
+            f"{old.get('row_checksum')} -> {new.get('row_checksum')}); "
+            f"regenerate the baseline if this is intended"
+        )
+    old_speedup, new_speedup = old.get("speedup"), new.get("speedup")
+    if old_speedup and new_speedup and \
+            new_speedup < old_speedup * (1.0 - threshold):
+        problems.append(
+            f"{fig}: vectorized speedup regressed {old_speedup:.2f}x -> "
+            f"{new_speedup:.2f}x (> {threshold:.0%} drop)"
+        )
+    old_eng, new_eng = old.get("engine"), new.get("engine")
+    if old_eng and new_eng and \
+            old_eng.get("row_checksum") != new_eng.get("row_checksum"):
+        problems.append(f"{fig}: engine-bench rows changed (checksum "
+                        f"mismatch); regenerate the baseline if intended")
+    return problems
+
+
+def run_benches(
+    figures: list[str] | None = None,
+    out_dir: str | Path = ".",
+    scale: float = BENCH_SCALE,
+    threshold: float = BENCH_THRESHOLD,
+    check_only: bool = False,
+    artifact_dir: str | Path | None = None,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Run benches, compare to committed baselines, rewrite them.
+
+    ``check_only=True`` (CI mode) compares without rewriting and fails
+    if any figure has no committed baseline.  ``artifact_dir`` gets a
+    copy of every fresh report regardless of mode (CI uploads it).
+    Returns a shell-style exit code.
+    """
+    names = list(figures) if figures else list(BENCH_FIGURES)
+    unknown = [n for n in names if n not in BENCH_FIGURES]
+    if unknown:
+        raise ConfigError(
+            f"unknown bench figures {unknown}; choose from {list(BENCH_FIGURES)}"
+        )
+    problems: list[str] = []
+    for name in names:
+        report = bench_figure(name, scale=scale)
+        baseline = load_report(name, out_dir)
+        if baseline is not None:
+            problems.extend(compare_reports(baseline, report, threshold))
+        elif check_only:
+            problems.append(f"{name}: no committed BENCH_{name}.json baseline")
+        summary = _summary_line(report)
+        echo(summary)
+        if artifact_dir is not None:
+            write_report(report, artifact_dir)
+        if not check_only:
+            write_report(report, out_dir)
+    if problems:
+        for problem in problems:
+            echo(f"REGRESSION: {problem}")
+        return 1
+    return 0
+
+
+def _summary_line(report: dict[str, Any]) -> str:
+    fig = report["figure"]
+    if report["kind"] == "engine":
+        eng = report["engine"]
+        return (f"{fig}: engine {eng['events']} events in "
+                f"{eng['wall_s']:.2f}s ({eng['events_per_s']:,} events/s)")
+    line = (
+        f"{fig}: {report['cells']} cells, {report['ops']:,} ops; "
+        f"scalar {report['scalar']['wall_s']:.2f}s "
+        f"({report['scalar']['ops_per_s']:,} ops/s), "
+        f"vectorized {report['vectorized']['wall_s']:.2f}s "
+        f"({report['vectorized']['ops_per_s']:,} ops/s); "
+        f"speedup {report['speedup']:.1f}x "
+        f"(geomean {report['geomean_speedup']:.1f}x)"
+    )
+    if "engine" in report:
+        eng = report["engine"]
+        line += (f"; engine {eng['events_per_s']:,} events/s")
+    return line

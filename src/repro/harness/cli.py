@@ -129,6 +129,42 @@ def main(argv: list[str] | None = None) -> int:
         "submitted/start/finish, queue delay, residual fault) as JSONL",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the scalar-vs-vectorized performance benches and track "
+        "the BENCH_<fig>.json baselines at the repo root",
+    )
+    bench.add_argument(
+        "figures", nargs="*",
+        help="bench ids (fig4..fig10; default: all)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale for the trace-driven benches "
+        "(default: the pinned bench scale)",
+    )
+    bench.add_argument(
+        "--out-dir", default=".",
+        help="directory holding the BENCH_<fig>.json baselines "
+        "(default: current directory)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="CI mode: compare against the committed baselines without "
+        "rewriting them; fail on checksum drift, missing baselines, or "
+        "a speedup regression beyond --threshold",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="allowed fractional drop in the vectorized/scalar speedup "
+        "ratio before failing (default 0.20)",
+    )
+    bench.add_argument(
+        "--artifact-dir", default=None,
+        help="also write every fresh report here (works with --check; "
+        "CI uploads this directory)",
+    )
+
     simulate = sub.add_parser(
         "simulate", help="run one policy over one workload and print the row"
     )
@@ -158,6 +194,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "simulate":
         return _simulate_command(args)
+
+    if args.command == "bench":
+        return _bench_command(args)
 
     if args.command == "faults":
         return _faults_command(args)
@@ -282,6 +321,19 @@ def _faults_command(args) -> int:
               f"({summary['requests']} requests, "
               f"mean {summary['mean_response_ms']:.3f} ms)")
     return 0
+
+
+def _bench_command(args) -> int:
+    from .bench import BENCH_SCALE, BENCH_THRESHOLD, run_benches
+
+    return run_benches(
+        figures=args.figures or None,
+        out_dir=args.out_dir,
+        scale=args.scale if args.scale is not None else BENCH_SCALE,
+        threshold=args.threshold if args.threshold is not None else BENCH_THRESHOLD,
+        check_only=args.check,
+        artifact_dir=args.artifact_dir,
+    )
 
 
 def _simulate_command(args) -> int:

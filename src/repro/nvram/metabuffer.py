@@ -25,8 +25,15 @@ class PageState(Enum):
     DELTA = "delta"
     DIRTY = "dirty"  # write-back baseline only; not used by KDD
 
+    # Members are singletons and equality is identity, so the identity
+    # hash is exact; Enum.__hash__ is a Python-level call and state
+    # lookups sit on the per-access hot path.  No code iterates a *set*
+    # of states (dicts keep insertion order), so run-to-run determinism
+    # is unaffected.
+    __hash__ = object.__hash__
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class MappingEntry:
     """One persistent mapping entry (the fields of Figure 3).
 

@@ -16,7 +16,7 @@ from ..delta.packer import DELTA_HEADER_BYTES
 from ..errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StagedDelta:
     """One delta waiting in NVRAM."""
 

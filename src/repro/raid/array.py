@@ -83,6 +83,74 @@ class RaidCounters:
                     self.parity_writes += op.npages
 
 
+class FastAccounting:
+    """O(1) bulk counter accounting for a healthy array.
+
+    The trace-driven simulators only consume :class:`RaidCounters`; the
+    :class:`DiskOp` lists matter solely to the timing engine.  On a
+    non-degraded array with no latent sector errors and no stored
+    payload, every single-page logical op maps to a *fixed* member-I/O
+    pattern, so the counter deltas can be precomputed once and applied
+    per access (or in bulk) without re-deriving the stripe geometry.
+    The deltas mirror the small-write logic of
+    :meth:`RAIDArray._write_group` exactly; equivalence is pinned by the
+    scalar-vs-vectorized property suite.
+    """
+
+    __slots__ = (
+        "counters",
+        "stale_stripes",
+        "stripe_data_pages",
+        "write_data_reads",
+        "write_parity_reads",
+        "write_data_writes",
+        "write_parity_writes",
+        "delayed_ok",
+    )
+
+    def __init__(self, array: "RAIDArray") -> None:
+        layout = array.layout
+        self.counters = array.counters
+        self.stale_stripes = array.stale_stripes
+        self.stripe_data_pages = layout.stripe_data_pages
+        self.delayed_ok = layout.level in (RaidLevel.RAID5, RaidLevel.RAID6)
+        if layout.level is RaidLevel.RAID0:
+            reads = (0, 0)
+            writes = (1, 0)
+        elif layout.level is RaidLevel.RAID1:
+            reads = (0, 0)
+            writes = (array.ndisks, 0)
+        else:
+            n_parity = layout.parity_disks
+            untouched = layout.data_disks_per_stripe - 1
+            rmw_ios = 2 + 2 * n_parity
+            rcw_ios = untouched + 1 + n_parity
+            if rcw_ios < rmw_ios or not untouched:
+                reads = (untouched, 0)
+            else:
+                reads = (1, n_parity)
+            writes = (1, n_parity)
+        self.write_data_reads, self.write_parity_reads = reads
+        self.write_data_writes, self.write_parity_writes = writes
+
+    def read(self, npages: int = 1) -> None:
+        """Account ``npages`` independent single-page logical reads."""
+        self.counters.data_reads += npages
+
+    def write(self, npages: int = 1) -> None:
+        """Account ``npages`` independent single-page parity-updating writes."""
+        c = self.counters
+        c.data_reads += npages * self.write_data_reads
+        c.parity_reads += npages * self.write_parity_reads
+        c.data_writes += npages * self.write_data_writes
+        c.parity_writes += npages * self.write_parity_writes
+
+    def write_delayed(self, stripe: int) -> None:
+        """Account one ``write_without_parity_update``; marks parity stale."""
+        self.counters.data_writes += 1
+        self.stale_stripes.add(stripe)
+
+
 class RAIDArray:
     """A parity-protected disk array with delayed-parity extensions."""
 
@@ -197,6 +265,19 @@ class RAIDArray:
     @property
     def degraded(self) -> bool:
         return bool(self.failed_disks)
+
+    def fast_account(self) -> FastAccounting | None:
+        """Counter-only accounting shortcut, or None when ineligible.
+
+        Eligibility requires the fixed member-I/O patterns to hold: no
+        failed member (degraded reads/writes reroute I/O), no latent
+        sector errors (reads reconstruct through peers), and no stored
+        payload (payload maintenance reads real pages).  Callers must
+        re-request the helper if any of those change.
+        """
+        if self.failed_disks or self.media_errors or self._disk_data is not None:
+            return None
+        return FastAccounting(self)
 
     # -- media errors (latent sector faults, repro.faults) ----------------------
 

@@ -63,37 +63,26 @@ class RaidLayout:
         self.ndisks = ndisks
         self.chunk_pages = chunk_pages
         self.pages_per_disk = pages_per_disk
-
-    # -- derived parameters ------------------------------------------------
-
-    @property
-    def parity_disks(self) -> int:
-        return {
+        # Derived parameters, precomputed: the address arithmetic below
+        # sits on every per-page hot path.
+        #: Parity units per stripe (mirroring is replication, not parity).
+        self.parity_disks = {
             RaidLevel.RAID0: 0,
-            RaidLevel.RAID1: 0,  # mirroring is replication, not parity
+            RaidLevel.RAID1: 0,
             RaidLevel.RAID5: 1,
             RaidLevel.RAID6: 2,
-        }[self.level]
-
-    @property
-    def data_disks_per_stripe(self) -> int:
-        if self.level is RaidLevel.RAID1:
-            return 1
-        return self.ndisks - self.parity_disks
-
-    @property
-    def stripe_data_pages(self) -> int:
-        """Logical pages covered by one stripe."""
-        return self.data_disks_per_stripe * self.chunk_pages
-
-    @property
-    def fault_tolerance(self) -> int:
-        return {
+        }[level]
+        self.data_disks_per_stripe = (
+            1 if level is RaidLevel.RAID1 else ndisks - self.parity_disks
+        )
+        #: Logical pages covered by one stripe.
+        self.stripe_data_pages = self.data_disks_per_stripe * chunk_pages
+        self.fault_tolerance = {
             RaidLevel.RAID0: 0,
-            RaidLevel.RAID1: self.ndisks - 1,
+            RaidLevel.RAID1: ndisks - 1,
             RaidLevel.RAID5: 1,
             RaidLevel.RAID6: 2,
-        }[self.level]
+        }[level]
 
     @property
     def capacity_pages(self) -> int | None:

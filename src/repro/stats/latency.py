@@ -2,36 +2,50 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import SimulationError
 
 
-@dataclass
 class LatencyRecorder:
-    """Accumulates per-request response times."""
+    """Accumulates per-request response times.
 
-    samples: list[float] = field(default_factory=list)
+    Samples live in an amortized-growth float64 buffer (capacity doubles
+    when full), so :meth:`record` is O(1) amortized and :meth:`summary`
+    reduces a zero-copy view instead of re-materializing the whole
+    history into a fresh ndarray on every call.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self) -> None:
+        self._buf = np.empty(64, dtype=np.float64)
+        self._n = 0
 
     def record(self, response_time: float) -> None:
         # A negative response time is a simulator fault (completion before
         # arrival), not a configuration mistake.
         if response_time < 0:
             raise SimulationError(f"negative response time {response_time}")
-        self.samples.append(response_time)
+        if self._n == self._buf.shape[0]:
+            grown = np.empty(2 * self._buf.shape[0], dtype=np.float64)
+            grown[: self._n] = self._buf
+            self._buf = grown
+        self._buf[self._n] = response_time
+        self._n += 1
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._n
 
     def summary(self) -> "LatencySummary":
-        if not self.samples:
+        if not self._n:
             return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
                                   maximum=0.0)
-        arr = np.asarray(self.samples)
+        arr = self._buf[: self._n]
         return LatencySummary(
-            count=len(arr),
+            count=self._n,
             mean=float(arr.mean()),
             p50=float(np.percentile(arr, 50)),
             p95=float(np.percentile(arr, 95)),

@@ -1,0 +1,140 @@
+"""Unit tests for the benchmark harness (no timed simulation runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.bench import (
+    BENCH_FIGURES,
+    _cell,
+    _checksum,
+    _FIG_GRIDS,
+    _geomean,
+    compare_reports,
+    load_report,
+    run_benches,
+    write_report,
+)
+
+
+def _report(fig="fig4", speedup=3.0, checksum="sha256:aa", engine=None):
+    out = {
+        "figure": fig,
+        "kind": "trace",
+        "cells": 4,
+        "ops": 1000,
+        "scalar": {"wall_s": 1.0, "ops_per_s": 1000},
+        "vectorized": {"wall_s": 1.0 / speedup, "ops_per_s": 1000 * speedup},
+        "speedup": speedup,
+        "geomean_speedup": speedup,
+        "row_checksum": checksum,
+    }
+    if engine is not None:
+        out["engine"] = engine
+    return out
+
+
+def test_compare_clean():
+    assert compare_reports(_report(), _report()) == []
+
+
+def test_compare_checksum_drift_is_flagged():
+    problems = compare_reports(_report(), _report(checksum="sha256:bb"))
+    assert len(problems) == 1
+    assert "rows changed" in problems[0]
+
+
+def test_compare_speedup_regression_threshold():
+    # 20% drop from 3.0x is 2.4x: 2.5x passes, 2.3x fails
+    assert compare_reports(_report(speedup=3.0), _report(speedup=2.5)) == []
+    problems = compare_reports(_report(speedup=3.0), _report(speedup=2.3))
+    assert len(problems) == 1
+    assert "regressed" in problems[0]
+
+
+def test_compare_speedup_improvement_is_clean():
+    assert compare_reports(_report(speedup=3.0), _report(speedup=9.0)) == []
+
+
+def test_compare_engine_checksum():
+    old = _report(engine={"row_checksum": "sha256:e1"})
+    new = _report(engine={"row_checksum": "sha256:e2"})
+    assert any("engine-bench rows changed" in p
+               for p in compare_reports(old, new))
+    assert compare_reports(old, old) == []
+
+
+def test_report_roundtrip(tmp_path):
+    report = _report()
+    path = write_report(report, tmp_path)
+    assert path.name == "BENCH_fig4.json"
+    assert load_report("fig4", tmp_path) == report
+    assert load_report("fig9", tmp_path) is None
+    # file is valid, newline-terminated JSON (committable baseline)
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == report
+
+
+def test_run_benches_rejects_unknown_figure(tmp_path):
+    with pytest.raises(ConfigError, match="unknown bench figures"):
+        run_benches(["fig99"], out_dir=tmp_path)
+
+
+def test_kdd_variant_cells_map_to_kdd():
+    cell = _cell("kdd-25", "Fin1", 128)
+    assert cell.policy == "kdd"
+    assert cell.label == "kdd-25"
+    assert dict(cell.config)["mean_compression"] == 0.25
+    assert dict(cell.config)["seed"] == 0
+
+
+def test_grids_cover_every_trace_figure():
+    for fig in BENCH_FIGURES:
+        if fig == "fig10":
+            continue
+        cells = _FIG_GRIDS[fig](0.004)
+        assert cells, fig
+        # every cell resolves to a registered policy with a pinned seed
+        for cell in cells:
+            assert "seed" in dict(cell.config)
+
+
+def test_checksum_is_order_sensitive_and_stable():
+    rows = [{"policy": "wt", "hit_ratio": 0.5}, {"policy": "kdd"}]
+    assert _checksum(rows) == _checksum([dict(r) for r in rows])
+    assert _checksum(rows) != _checksum(rows[::-1])
+
+
+def test_geomean():
+    assert _geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert _geomean([5.0]) == pytest.approx(5.0)
+
+
+def test_cli_bench_subcommand_wiring(tmp_path, capsys, monkeypatch):
+    from repro.harness import bench, cli
+
+    def fake_bench_figure(fig, scale=bench.BENCH_SCALE):
+        return _report(fig=fig, speedup=2.0, checksum="sha256:cc")
+
+    monkeypatch.setattr(bench, "bench_figure", fake_bench_figure)
+    rc = cli.main(["bench", "fig4", "--out-dir", str(tmp_path)])
+    assert rc == 0
+    assert load_report("fig4", tmp_path)["speedup"] == 2.0
+    # --check against the baseline just written: clean
+    assert cli.main(["bench", "fig4", "--out-dir", str(tmp_path),
+                     "--check"]) == 0
+    # --check with a missing baseline fails
+    rc = cli.main(["bench", "fig5", "--out-dir", str(tmp_path), "--check"])
+    assert rc == 1
+    assert "no committed BENCH_fig5.json baseline" in capsys.readouterr().out
+    # --check --artifact-dir writes the fresh report without touching
+    # the baseline directory
+    artifacts = tmp_path / "out"
+    assert cli.main(["bench", "fig4", "--out-dir", str(tmp_path), "--check",
+                     "--artifact-dir", str(artifacts)]) == 0
+    assert load_report("fig4", artifacts) is not None
+    assert load_report("fig5", tmp_path) is None

@@ -185,7 +185,7 @@ class TestLeavO:
         """The paper's core criticism: redundant versions lower hit ratio."""
         raid = make_raid()
         cfg_small = cfg(cache_pages=8, ways=8, group_pages=1,
-                        dirty_threshold=1.0, low_watermark=1.0)
+                        dirty_threshold=1.0, low_watermark=0.5)
         p = LeavO(cfg_small, raid)
         for lba in range(4):
             p.read(lba * 16)

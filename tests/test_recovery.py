@@ -107,7 +107,7 @@ class TestPowerFailure:
 
 class TestSsdFailure:
     def test_resync_restores_redundancy(self):
-        kdd, raid = make_system(dirty_threshold=1.0, low_watermark=1.0)
+        kdd, raid = make_system(dirty_threshold=1.0, low_watermark=0.5)
         for lba in range(8):
             kdd.read(lba)
             kdd.write(lba)
@@ -121,7 +121,7 @@ class TestSsdFailure:
     def test_no_data_loss_window_with_leavo_counterexample(self):
         """A disk failing while parity is stale is exactly the data-loss
         window; resync closes it."""
-        kdd, raid = make_system(dirty_threshold=1.0, low_watermark=1.0)
+        kdd, raid = make_system(dirty_threshold=1.0, low_watermark=0.5)
         kdd.read(0)
         kdd.write(0)
         disk = raid.layout.locate(0).disk
@@ -141,7 +141,7 @@ class TestSsdFailure:
 
 class TestHddFailure:
     def test_parity_flushed_before_rebuild(self):
-        kdd, raid = make_system(dirty_threshold=1.0, low_watermark=1.0)
+        kdd, raid = make_system(dirty_threshold=1.0, low_watermark=0.5)
         for lba in range(8):
             kdd.read(lba)
             kdd.write(lba)

@@ -1,0 +1,131 @@
+"""Property tests: the columnar fast path is result-identical.
+
+``process_trace(vectorized=True)`` must produce exactly the counters,
+RAID accounting, policy extras and *eviction sequence* of the scalar
+per-access loop, for every policy and any trace.  Hypothesis drives
+random synthetic traces through both paths and compares everything
+observable; a deterministic test also pins that the columnar hook
+actually engages (a silent fallback to the scalar loop would make the
+equivalence vacuous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.base import CacheConfig
+from repro.cache.common import SetAssocPolicy
+from repro.core.kdd import KDD
+from repro.harness.runner import POLICIES, make_raid_for_trace
+from repro.traces import Trace, empty_records
+
+POLICY_NAMES = ("nossd", "wt", "wa", "wb", "leavo", "kdd")
+
+
+def make_trace(rows):
+    """rows: list of (lba, npages, is_read); arrival time = index."""
+    rec = empty_records(len(rows))
+    for i, (lba, n, r) in enumerate(rows):
+        rec[i] = (float(i), lba, n, r)
+    return Trace(rec, name="prop")
+
+
+def run_policy(name, trace, cache_pages, vectorized, **config_kwargs):
+    """One full run; returns every externally observable outcome."""
+    cls = POLICIES[name]
+    evictions: list[int] = []
+
+    class Recording(cls):
+        def _drop_line(self, line):
+            evictions.append(line.lba)
+            super()._drop_line(line)
+
+    config = CacheConfig(cache_pages=cache_pages, **config_kwargs)
+    raid = make_raid_for_trace(trace)
+    policy = Recording(config, raid)
+    stats = policy.process_trace(trace, vectorized=vectorized)
+    extras = {}
+    if isinstance(policy, KDD):
+        extras = dict(
+            cleanings=policy.cleanings,
+            forced_cleanings=policy.forced_cleanings,
+            dez_pages=len(policy.dez_pages),
+            mlog_gc_pages=policy.mlog.gc_pages_reclaimed,
+        )
+    policy.check_invariants()
+    return stats, raid.counters, extras, evictions
+
+
+requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=199),   # lba
+        st.integers(min_value=1, max_value=4),     # npages
+        st.booleans(),                             # is_read
+    ),
+    min_size=0,
+    max_size=250,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=requests,
+    policy=st.sampled_from(POLICY_NAMES),
+    cache_pages=st.sampled_from((64, 96, 128)),
+    compression=st.sampled_from((0.12, 0.25, 0.50)),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_vectorized_matches_scalar(rows, policy, cache_pages, compression,
+                                   seed):
+    trace = make_trace(rows)
+    kwargs = dict(mean_compression=compression, seed=seed)
+    scalar = run_policy(policy, trace, cache_pages, vectorized=False, **kwargs)
+    vector = run_policy(policy, trace, cache_pages, vectorized=True, **kwargs)
+    assert scalar[0] == vector[0], "traffic counters diverged"
+    assert scalar[1] == vector[1], "raid counters diverged"
+    assert scalar[2] == vector[2], "policy extras diverged"
+    assert scalar[3] == vector[3], "eviction sequences diverged"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=requests,
+    policy=st.sampled_from(("leavo", "kdd")),
+    watermark=st.sampled_from(((0.3, 0.5), (0.1, 0.9))),
+)
+def test_vectorized_matches_scalar_under_cleaning_pressure(
+    rows, policy, watermark
+):
+    """Delayed-parity policies with tight dirty thresholds clean often;
+    the cleaning/staging machinery must stay equivalent too."""
+    low, dirty = watermark
+    trace = make_trace(rows)
+    kwargs = dict(low_watermark=low, dirty_threshold=dirty,
+                  mean_compression=0.25)
+    scalar = run_policy(policy, trace, 64, vectorized=False, **kwargs)
+    vector = run_policy(policy, trace, 64, vectorized=True, **kwargs)
+    assert scalar == vector
+
+
+def test_columnar_path_engages(monkeypatch):
+    """Guard against a silent fallback making the equivalence vacuous."""
+    engaged = []
+    orig = SetAssocPolicy._process_columnar
+
+    def spy(self, trace):
+        handled = orig(self, trace)
+        engaged.append((type(self).__name__, handled))
+        return handled
+
+    monkeypatch.setattr(SetAssocPolicy, "_process_columnar", spy)
+    rng = np.random.default_rng(0)
+    rows = [
+        (int(rng.integers(0, 200)), 1, bool(rng.integers(0, 2)))
+        for _ in range(400)
+    ]
+    trace = make_trace(rows)
+    for name in ("wt", "wa", "wb", "leavo", "kdd"):
+        run_policy(name, trace, 64, vectorized=True)
+    assert all(handled for _, handled in engaged), engaged
+    assert len(engaged) == 5
