@@ -201,12 +201,22 @@ class SetAssocPolicy(CachePolicy):
         self.stats.ssd_reads += 1
 
     def _bulk_read_hits(self, lbas: list[int]) -> None:
-        """Retire a run of read hits: bulk counters, ordered LRU touches."""
+        """Retire a run of read hits: bulk counters, ordered LRU touches.
+
+        Membership-write-free like every batch reader it drives
+        (``classify``/``touch_many``) — proven interprocedurally by
+        RPR203, which is what entitles the runs to outlive their
+        classification snapshot.
+        """
         self.stats.read_hits += len(lbas)
         self.stats.ssd_reads += len(lbas)
         self.sets.touch_many(lbas)
 
     def _write_fast(self, lba: int) -> None:  # pragma: no cover - gated off
+        # Contract (RPR204): an override's interprocedural write-set must
+        # stay inside the scalar write() write-set plus the FastAccounting
+        # delta surface (_fast) — checked statically by kdd-repro analyze,
+        # sampled dynamically by tests/test_vectorized_equivalence.py.
         raise NotImplementedError(
             "_fast_write_ok() must stay False without a _write_fast handler"
         )

@@ -119,6 +119,8 @@ class LeavO(SetAssocPolicy):
         return fast.delayed_ok
 
     def _write_fast(self, lba: int) -> None:
+        # Write-set ⊆ scalar write() ∪ {_fast}: enforced by RPR204
+        # (cleaning's adopt_borrowed slot moves ride along via sets).
         line = self.sets.lookup(lba)
         if line is None:
             self.stats.write_misses += 1

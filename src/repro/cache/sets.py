@@ -20,6 +20,7 @@ from typing import Any
 
 import numpy as np
 
+from ..contracts import mutates_membership
 from ..errors import CacheError, ConfigError
 from ..nvram.metabuffer import PageState
 
@@ -70,12 +71,43 @@ class CacheSets:
         self._state_counts = {s: 0 for s in PageState}
         # Columnar mirror of the DAZ directory: slot -> resident lba (-1 when
         # the slot is free, borrowed, or holds a DEZ page).  Kept in lockstep
-        # by alloc/remove/adopt_borrowed so membership of a whole address
-        # batch can be classified with one gather+compare (see classify()).
+        # with _index by _membership_update — the sole writer of the pair —
+        # so membership of a whole address batch can be classified with one
+        # gather+compare (see classify()).
         self._lba_table = np.full((self.n_sets, self.ways), -1, dtype=np.int64)
-        #: Membership-mutation epoch: bumped on every alloc/remove, so
-        #: batched classifications can detect when a snapshot went stale.
+        #: Membership-mutation epoch: bumped by _membership_update exactly
+        #: when membership changes (alloc/remove), so batched
+        #: classifications can detect when a snapshot went stale.
         self.mutations = 0
+
+    @mutates_membership
+    def _membership_update(
+        self,
+        set_idx: int,
+        slot: int,
+        resident: int,
+        line: CacheLine | None = None,
+    ) -> None:
+        """Sole writer of the membership pair (``_index`` + ``_lba_table``).
+
+        Installs ``resident`` (an lba, or -1 for empty) into the mirror
+        slot; when ``line`` is given the primary index changes in the
+        same step (inserted for ``resident >= 0``, removed for -1) and
+        the membership epoch is bumped.  Mirror-only calls
+        (``line=None``) move a resident lba between slots without
+        touching the index (see :meth:`adopt_borrowed`): membership is
+        unchanged and :meth:`classify` is position-independent, so the
+        epoch — which exists to invalidate membership *snapshots* —
+        deliberately stays put, keeping bulk hit runs alive across
+        stripe cleans.
+        """
+        if line is not None:
+            if resident >= 0:
+                self._index[resident] = line
+            else:
+                del self._index[line.lba]
+            self.mutations += 1
+        self._lba_table[set_idx, slot] = resident
 
     # -- placement ----------------------------------------------------------
 
@@ -162,10 +194,8 @@ class CacheSets:
         slot = cset.free_slots.pop()
         line = CacheLine(lba=lba, slot=slot, set_idx=set_idx, state=state, aux=aux)
         cset.entries[lba] = line
-        self._index[lba] = line
         self._state_counts[state] += 1
-        self._lba_table[set_idx, slot] = lba
-        self.mutations += 1
+        self._membership_update(set_idx, slot, lba, line)
         return line
 
     def set_state(self, lba: int, state: PageState) -> CacheLine:
@@ -177,15 +207,14 @@ class CacheSets:
 
     def remove(self, lba: int) -> CacheLine:
         """Free a DAZ line and its slot."""
-        line = self._index.pop(lba, None)
+        line = self._index.get(lba)
         if line is None:
             raise CacheError(f"page {lba} not cached")
         cset = self._sets[line.set_idx]
         del cset.entries[lba]
         cset.free_slots.append(line.slot)
         self._state_counts[line.state] -= 1
-        self._lba_table[line.set_idx, line.slot] = -1
-        self.mutations += 1
+        self._membership_update(line.set_idx, line.slot, -1, line)
         return line
 
     def evict_candidate(
@@ -252,8 +281,9 @@ class CacheSets:
         freed = line.slot
         cset.free_slots.append(freed)
         line.slot = borrowed_slot
-        self._lba_table[line.set_idx, freed] = -1
-        self._lba_table[line.set_idx, borrowed_slot] = lba
+        # mirror-only: the lba stays resident, its slot moves
+        self._membership_update(line.set_idx, freed, -1)
+        self._membership_update(line.set_idx, borrowed_slot, lba)
         return freed
 
     # -- DEZ slots -----------------------------------------------------------

@@ -25,6 +25,7 @@ class WriteBack(SetAssocPolicy):
         return True
 
     def _write_fast(self, lba: int) -> None:
+        # Write-set ⊆ scalar write() ∪ {_fast}: enforced by RPR204.
         line = self.sets.lookup(lba)
         if line is not None:
             self.stats.write_hits += 1

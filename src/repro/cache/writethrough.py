@@ -24,6 +24,7 @@ class WriteThrough(SetAssocPolicy):
         return True
 
     def _write_fast(self, lba: int) -> None:
+        # Write-set ⊆ scalar write() ∪ {_fast}: enforced by RPR204.
         self._fast.write(1)
         line = self.sets.lookup(lba)
         if line is not None:

@@ -1,0 +1,29 @@
+"""Machine-checked effect contracts (DESIGN §12).
+
+Foundation-layer vocabulary for contracts the whole-program analyzer
+(:mod:`repro.devtools.analyze.effects`) enforces statically.  Like
+:func:`repro.errors.raises`, the decorators here change nothing at
+runtime beyond a marker attribute — they exist so intent is written in
+the code and the analyzer can hold every caller to it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def mutates_membership(func: _F) -> _F:
+    """Declare a method as a cache-membership choke point.
+
+    The decorated method is the *only* place allowed to write the
+    membership directory pair of :class:`repro.cache.sets.CacheSets`
+    (``_index`` and its columnar mirror ``_lba_table``) and it must
+    bump the membership epoch (``mutations``) so batched classification
+    snapshots can detect staleness.  Both halves of the contract are
+    enforced by ``kdd-repro analyze`` (RPR201/RPR202).
+    """
+    func.__mutates_membership__ = True  # type: ignore[attr-defined]
+    return func

@@ -288,6 +288,8 @@ class KDD(SetAssocPolicy):
         return fast.delayed_ok
 
     def _write_fast(self, lba: int) -> None:
+        # Write-set ⊆ scalar write() ∪ {_fast}: enforced by RPR204 across
+        # the full staging/mlog/cleaning closure.
         line = self.sets.lookup(lba)
         if line is None:
             self.stats.write_misses += 1

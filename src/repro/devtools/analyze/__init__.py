@@ -2,7 +2,7 @@
 
 Where :mod:`repro.devtools.lint` checks one file at a time, this
 package parses all of ``src/repro`` once into a :class:`Project`
-(module set + import graph + cross-module symbol table) and runs four
+(module set + import graph + cross-module symbol table) and runs five
 analyses whose invariants only exist *between* modules:
 
 =========  ============================================================
@@ -16,6 +16,12 @@ RPR107     reachable taxonomy raise missing from a declared contract
 RPR108     raising public sim/engine/faults entry point lacks contract
 RPR109     imported name never used
 RPR110     dead public symbol (opt-in, ``--dead-code``)
+RPR201     membership state written outside a choke point
+RPR202     ``@mutates_membership`` method never bumps the epoch
+RPR203     batch reader may write membership state
+RPR204     fast-path write-set exceeds scalar write-set + delta surface
+RPR205     sweep-worker-reachable code mutates module-level state
+RPR206     ``lru_cache`` on sweep-worker-reachable code (unallowlisted)
 =========  ============================================================
 
 The analyzer is held to the determinism bar it enforces: findings and
@@ -27,6 +33,7 @@ from :mod:`repro.devtools.lint`.
 from __future__ import annotations
 
 from .deadcode import check_dead_public, check_unused_imports
+from .effects import EffectAnalysis, check_effects, effects_report
 from .excflow import ExceptionFlow, check_contracts
 from .graphio import architecture_md, graph_dot, graph_json
 from .layers import DEFAULT_LAYERS, LayerSpec, check_layering
@@ -36,6 +43,7 @@ from .unitflow import check_units
 
 __all__ = [
     "DEFAULT_LAYERS",
+    "EffectAnalysis",
     "ExceptionFlow",
     "ImportEdge",
     "LayerSpec",
@@ -44,10 +52,12 @@ __all__ = [
     "architecture_md",
     "check_contracts",
     "check_dead_public",
+    "check_effects",
     "check_layering",
     "check_rng_provenance",
     "check_units",
     "check_unused_imports",
+    "effects_report",
     "graph_dot",
     "graph_json",
 ]

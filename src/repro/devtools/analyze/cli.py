@@ -17,6 +17,7 @@ from ...errors import ReproError
 from ..lint.baseline import apply_baseline, load_baseline, write_baseline
 from ..lint.findings import Finding
 from .deadcode import check_dead_public, check_unused_imports
+from .effects import check_effects, effects_report
 from .excflow import check_contracts
 from .graphio import architecture_md, graph_dot, graph_json
 from .layers import check_layering
@@ -34,6 +35,7 @@ _ANALYSES = (
     check_rng_provenance,
     check_contracts,
     check_unused_imports,
+    check_effects,
 )
 
 
@@ -51,7 +53,9 @@ def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kdd-repro analyze",
         description="Whole-program static analysis: layering contract, "
-        "flow-sensitive unit/RNG taint, and exception-flow verification.",
+        "flow-sensitive unit/RNG taint, exception-flow verification, and "
+        "effect/write-set contracts (mirror coherence, fast-path "
+        "subsumption, sweep races).",
     )
     parser.add_argument(
         "paths", nargs="*", default=None,
@@ -74,6 +78,15 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dead-code", action="store_true",
         help="also report dead public symbols (RPR110, report-only)",
+    )
+    parser.add_argument(
+        "--effects", action="store_true",
+        help="run only the effect/write-set contracts (RPR201-RPR206)",
+    )
+    parser.add_argument(
+        "--effects-report", metavar="FILE", type=Path, default=None,
+        help="write the inferred effect model (write-set closures, choke "
+        "points, sweep reachability) as stable JSON",
     )
     parser.add_argument(
         "--export-dot", metavar="FILE", type=Path, default=None,
@@ -110,12 +123,16 @@ def main(argv: list[str] | None = None) -> int:
     paths = [Path(p) for p in (args.paths or [_DEFAULT_TARGET])]
     try:
         project = Project.load(paths)
-        findings = analyze_project(project, dead_code=args.dead_code)
+        if args.effects:
+            findings = check_effects(project)
+        else:
+            findings = analyze_project(project, dead_code=args.dead_code)
 
         exports = (
             (args.export_dot, graph_dot),
             (args.export_json, graph_json),
             (args.write_docs, architecture_md),
+            (args.effects_report, effects_report),
         )
         for target, render in exports:
             if target is not None:

@@ -4,7 +4,7 @@ The codebase is organised as five layers; a module may import its own
 layer or any layer *below* it, never above:
 
 =============  ==========================================================
-foundation     ``errors``, ``units``
+foundation     ``errors``, ``units``, ``contracts``
 data           ``traces``, ``delta``, ``stats``
 devices        ``disk``, ``flash``, ``nvram``, ``raid``, ``cache``, ``core``
 simulation     ``sim``, ``engine``, ``faults``
@@ -52,7 +52,7 @@ class LayerSpec:
 
 
 DEFAULT_LAYERS = LayerSpec(layers=(
-    ("foundation", ("errors", "units")),
+    ("foundation", ("errors", "units", "contracts")),
     ("data", ("traces", "delta", "stats")),
     ("devices", ("disk", "flash", "nvram", "raid", "cache", "core")),
     ("simulation", ("sim", "engine", "faults")),

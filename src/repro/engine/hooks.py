@@ -51,6 +51,11 @@ MemberReadHandler = Callable[[DiskOp, float, Priority, str], ServiceWindow]
 class EngineHook:
     """Base hook: every callback is a no-op.  Subclass what you need.
 
+    Hooks execute inside sweep worker processes, so every method of
+    every subclass is a worker entry point for the effect analyzer:
+    mutating module-level state from a hook is a sweep race
+    (RPR205/RPR206, see DESIGN §12).
+
     Callbacks fire at fixed points of the request pipeline:
 
     ``install``

@@ -349,10 +349,21 @@ def write_report(report: dict[str, Any], out_dir: str | Path = ".") -> Path:
 
 
 def load_report(fig: str, out_dir: str | Path = ".") -> dict[str, Any] | None:
+    """Committed baseline for ``fig``, or None when none is committed.
+
+    A baseline that exists but cannot be read or parsed is a
+    :class:`ConfigError` naming the file — a corrupt checkout should
+    fail loudly, not look like a missing baseline (or a traceback).
+    """
     path = report_path(fig, out_dir)
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    try:
+        return json.loads(path.read_text())
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigError(
+            f"unreadable bench baseline {path}: {exc}"
+        ) from exc
 
 
 def compare_reports(old: dict[str, Any], new: dict[str, Any],
@@ -396,10 +407,11 @@ def run_benches(
 ) -> int:
     """Run benches, compare to committed baselines, rewrite them.
 
-    ``check_only=True`` (CI mode) compares without rewriting and fails
-    if any figure has no committed baseline.  ``artifact_dir`` gets a
-    copy of every fresh report regardless of mode (CI uploads it).
-    Returns a shell-style exit code.
+    ``check_only=True`` (CI mode) compares without rewriting and raises
+    :class:`ConfigError` up front if any figure has no committed
+    baseline.  ``artifact_dir`` gets a copy of every fresh report
+    regardless of mode (CI uploads it).  Returns a shell-style exit
+    code.
     """
     names = list(figures) if figures else list(BENCH_FIGURES)
     unknown = [n for n in names if n not in BENCH_FIGURES]
@@ -407,14 +419,21 @@ def run_benches(
         raise ConfigError(
             f"unknown bench figures {unknown}; choose from {list(BENCH_FIGURES)}"
         )
+    if check_only:
+        # Fail before the (slow) benches run, naming every absent file.
+        missing = [str(report_path(name, out_dir)) for name in names
+                   if not report_path(name, out_dir).exists()]
+        if missing:
+            raise ConfigError(
+                "bench --check needs a committed baseline for every "
+                "figure; missing: " + ", ".join(missing)
+            )
     problems: list[str] = []
     for name in names:
         report = bench_figure(name, scale=scale)
         baseline = load_report(name, out_dir)
         if baseline is not None:
             problems.extend(compare_reports(baseline, report, threshold))
-        elif check_only:
-            problems.append(f"{name}: no committed BENCH_{name}.json baseline")
         summary = _summary_line(report)
         echo(summary)
         if artifact_dir is not None:

@@ -15,6 +15,7 @@ import os
 import sys
 import time
 
+from ..errors import ReproError
 from .figures import ALL_FIGURES, DEFAULT_SCALE
 from .sweep import SweepEngine, SweepProgress
 
@@ -326,14 +327,19 @@ def _faults_command(args) -> int:
 def _bench_command(args) -> int:
     from .bench import BENCH_SCALE, BENCH_THRESHOLD, run_benches
 
-    return run_benches(
-        figures=args.figures or None,
-        out_dir=args.out_dir,
-        scale=args.scale if args.scale is not None else BENCH_SCALE,
-        threshold=args.threshold if args.threshold is not None else BENCH_THRESHOLD,
-        check_only=args.check,
-        artifact_dir=args.artifact_dir,
-    )
+    try:
+        return run_benches(
+            figures=args.figures or None,
+            out_dir=args.out_dir,
+            scale=args.scale if args.scale is not None else BENCH_SCALE,
+            threshold=args.threshold
+            if args.threshold is not None else BENCH_THRESHOLD,
+            check_only=args.check,
+            artifact_dir=args.artifact_dir,
+        )
+    except ReproError as exc:
+        print(f"kdd-repro bench: {exc}", file=sys.stderr)
+        return 2
 
 
 def _simulate_command(args) -> int:

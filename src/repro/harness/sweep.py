@@ -81,7 +81,15 @@ def workload_trace(name: str, scale: float = 1.0) -> tuple:
 
 @lru_cache(maxsize=16)
 def _trace_for(desc: tuple):
-    """Materialise (once per process) the trace a descriptor names."""
+    """Materialise (once per process) the trace a descriptor names.
+
+    Deliberate per-process memoisation: the descriptor tuple captures
+    every input, so a cached trace is identical to a fresh one and
+    worker determinism is preserved.  This is the one entry on the
+    effect analyzer's sweep allowlist (RPR206, ``SWEEP_ALLOWLIST`` in
+    :mod:`repro.devtools.analyze.effects`) — any other module-level
+    state reachable from a cell worker is flagged.
+    """
     from ..traces.synthetic import (
         sequential_workload,
         uniform_workload,

@@ -1,0 +1,431 @@
+"""Effect/write-set analysis (RPR201-RPR206).
+
+Each contract family is proven on a fixture tree where the rule fires
+on a seeded violation and stays silent on the conforming twin; the
+real tree is then held to all of them at once (effects-clean, with a
+mutation test showing the epoch-bump contract actually bites on the
+production ``CacheSets``).
+"""
+
+from pathlib import Path
+
+from repro.devtools.analyze import Project
+from repro.devtools.analyze.effects import (
+    EffectAnalysis,
+    check_effects,
+    effects_report,
+)
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Mini twin of repro.contracts: the analyzer resolves the decorator
+#: by its project id, so the fixture tree needs a real definition.
+MINI_CONTRACTS = """\
+    def mutates_membership(func):
+        func.__mutates_membership__ = True
+        return func
+"""
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestMirrorCoherence:
+    def test_undecorated_membership_write_is_rpr201(self, analyze_tree):
+        project = analyze_tree({
+            "contracts.py": MINI_CONTRACTS,
+            "cache/sets.py": """\
+                class CacheSets:
+                    def __init__(self):
+                        self._index = {}
+                        self.mutations = 0
+
+                    def alloc(self, lba):
+                        self._index[lba] = lba
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR201"]
+        assert "'_index'" in findings[0].message
+        assert "alloc()" in findings[0].message
+
+    def test_mutator_call_on_membership_attr_is_rpr201(self, analyze_tree):
+        project = analyze_tree({
+            "contracts.py": MINI_CONTRACTS,
+            "cache/sets.py": """\
+                class CacheSets:
+                    def __init__(self):
+                        self._index = {}
+                        self.mutations = 0
+
+                    def remove(self, lba):
+                        self._index.pop(lba, None)
+            """,
+        })
+        assert codes(check_effects(project)) == ["RPR201"]
+
+    def test_epoch_write_outside_choke_point_is_rpr201(self, analyze_tree):
+        project = analyze_tree({
+            "contracts.py": MINI_CONTRACTS,
+            "cache/sets.py": """\
+                class CacheSets:
+                    def __init__(self):
+                        self.mutations = 0
+
+                    def poke(self):
+                        self.mutations += 1
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR201"]
+        assert "'mutations'" in findings[0].message
+
+    def test_foreign_write_through_sets_attr_is_rpr201(self, analyze_tree):
+        project = analyze_tree({
+            "contracts.py": MINI_CONTRACTS,
+            "cache/sets.py": """\
+                import numpy as np
+
+                class CacheSets:
+                    def __init__(self):
+                        self._lba_table = np.full((1, 1), -1)
+                        self.mutations = 0
+            """,
+            "cache/common.py": """\
+                from .sets import CacheSets
+
+                class Policy:
+                    def __init__(self):
+                        self.sets = CacheSets()
+
+                    def shortcut(self, lba):
+                        self.sets._lba_table[0, 0] = lba
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR201"]
+        assert "outside the class" in findings[0].message
+        assert "shortcut()" in findings[0].message
+
+    def test_decorated_choke_point_without_bump_is_rpr202(self, analyze_tree):
+        project = analyze_tree({
+            "contracts.py": MINI_CONTRACTS,
+            "cache/sets.py": """\
+                from ..contracts import mutates_membership
+
+                class CacheSets:
+                    def __init__(self):
+                        self._index = {}
+                        self.mutations = 0
+
+                    @mutates_membership
+                    def _membership_update(self, lba):
+                        self._index[lba] = lba
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR202"]
+        assert "_membership_update()" in findings[0].message
+        assert "'mutations'" in findings[0].message
+
+    def test_batch_reader_that_writes_membership_is_rpr203(self, analyze_tree):
+        project = analyze_tree({
+            "contracts.py": MINI_CONTRACTS,
+            "cache/sets.py": """\
+                from ..contracts import mutates_membership
+
+                class CacheSets:
+                    def __init__(self):
+                        self._index = {}
+                        self.mutations = 0
+
+                    @mutates_membership
+                    def _membership_update(self, lba):
+                        self._index[lba] = lba
+                        self.mutations += 1
+
+                    def classify(self, lbas):
+                        for lba in lbas:
+                            self._membership_update(lba)
+                        return lbas
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR203"]
+        assert "classify()" in findings[0].message
+
+    def test_conforming_sets_class_is_clean(self, analyze_tree):
+        project = analyze_tree({
+            "contracts.py": MINI_CONTRACTS,
+            "cache/sets.py": """\
+                from ..contracts import mutates_membership
+
+                class CacheSets:
+                    def __init__(self):
+                        self._index = {}
+                        self._order = []
+                        self.mutations = 0
+
+                    @mutates_membership
+                    def _membership_update(self, lba, add):
+                        if add:
+                            self._index[lba] = lba
+                        else:
+                            del self._index[lba]
+                        self.mutations += 1
+
+                    def alloc(self, lba):
+                        self._order.append(lba)
+                        self._membership_update(lba, True)
+
+                    def classify(self, lbas):
+                        return [lba in self._index for lba in lbas]
+
+                    def touch_many(self, lbas):
+                        order = self._order
+                        for lba in lbas:
+                            order.append(lba)
+            """,
+        })
+        assert check_effects(project) == []
+
+
+class TestFastPathSubsumption:
+    def test_fast_write_beyond_scalar_set_is_rpr204(self, analyze_tree):
+        project = analyze_tree({
+            "cache/common.py": """\
+                class Policy:
+                    def __init__(self):
+                        self.stats = {}
+                        self.shadow = {}
+
+                    def write(self, lba):
+                        self.stats[lba] = 1
+
+                    def _write_fast(self, lba):
+                        self.stats[lba] = 1
+                        self.shadow[lba] = 1
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR204"]
+        assert "'shadow'" in findings[0].message
+        assert "_write_fast()" in findings[0].message
+
+    def test_subsumption_holds_through_helper_calls(self, analyze_tree):
+        # The write-set closure crosses call boundaries: the scalar
+        # path writes via a helper, the fast path directly, and the
+        # FastAccounting delta surface (_fast) is always admissible.
+        project = analyze_tree({
+            "cache/common.py": """\
+                class Policy:
+                    def __init__(self):
+                        self.stats = {}
+                        self._fast = None
+
+                    def _account(self, lba):
+                        self.stats[lba] = 1
+
+                    def write(self, lba):
+                        self._account(lba)
+
+                    def _write_fast(self, lba):
+                        self.stats[lba] = 1
+                        self._fast.write(1)
+            """,
+        })
+        assert check_effects(project) == []
+
+    def test_inherited_scalar_write_set_subsumes_override(self, analyze_tree):
+        project = analyze_tree({
+            "cache/common.py": """\
+                class Base:
+                    def __init__(self):
+                        self.stats = {}
+
+                    def write(self, lba):
+                        self.stats[lba] = 1
+            """,
+            "cache/wt.py": """\
+                from .common import Base
+
+                class WriteThrough(Base):
+                    def _write_fast(self, lba):
+                        self.stats[lba] = 1
+            """,
+        })
+        assert check_effects(project) == []
+
+
+class TestSweepRaces:
+    def test_module_dict_mutation_in_worker_is_rpr205(self, analyze_tree):
+        project = analyze_tree({
+            "harness/sweep.py": """\
+                _CACHE = {}
+
+                def _remember(key):
+                    _CACHE[key] = 1
+
+                def _execute_cell(cell):
+                    _remember(cell)
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR205"]
+        assert "_remember()" in findings[0].message
+        assert "_execute_cell" in findings[0].message
+
+    def test_global_statement_in_worker_is_rpr205(self, analyze_tree):
+        project = analyze_tree({
+            "harness/sweep.py": """\
+                _COUNT = 0
+
+                def _execute_cell(cell):
+                    global _COUNT
+                    _COUNT += 1
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR205"]
+        assert "'_COUNT'" in findings[0].message
+
+    def test_class_attribute_write_in_worker_is_rpr205(self, analyze_tree):
+        project = analyze_tree({
+            "harness/sweep.py": """\
+                class Config:
+                    limit = 3
+
+                def _execute_cell(cell):
+                    Config.limit = cell
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR205"]
+        assert "Config.limit" in findings[0].message
+
+    def test_engine_hook_methods_are_worker_entries(self, analyze_tree):
+        project = analyze_tree({
+            "engine/hooks.py": """\
+                class EngineHook:
+                    def on_request(self, op):
+                        pass
+            """,
+            "faults/pipe.py": """\
+                from ..engine.hooks import EngineHook
+
+                TALLY = []
+
+                class CountingHook(EngineHook):
+                    def on_request(self, op):
+                        TALLY.append(op)
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR205"]
+        assert "CountingHook.on_request()" in findings[0].message
+
+    def test_lru_cache_in_worker_is_rpr206(self, analyze_tree):
+        project = analyze_tree({
+            "harness/sweep.py": """\
+                from functools import lru_cache
+
+                @lru_cache(maxsize=4)
+                def _double(key):
+                    return key * 2
+
+                def _execute_cell(cell):
+                    return _double(cell)
+            """,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR206"]
+        assert "@lru_cache" in findings[0].message
+        assert "_double()" in findings[0].message
+
+    def test_allowlisted_memo_is_accepted(self, analyze_tree):
+        # repro.harness.sweep:_trace_for is the documented per-process
+        # trace memo; the allowlist admits it by project id.
+        project = analyze_tree({
+            "harness/sweep.py": """\
+                from functools import lru_cache
+
+                @lru_cache(maxsize=16)
+                def _trace_for(key):
+                    return key * 2
+
+                def _execute_cell(cell):
+                    return _trace_for(cell)
+            """,
+        })
+        assert check_effects(project) == []
+
+    def test_unreachable_module_state_is_not_flagged(self, analyze_tree):
+        project = analyze_tree({
+            "harness/sweep.py": """\
+                def _execute_cell(cell):
+                    return cell
+            """,
+            "harness/report.py": """\
+                _SEEN = {}
+
+                def record(key):
+                    _SEEN[key] = 1
+            """,
+        })
+        assert check_effects(project) == []
+
+
+class TestRealTree:
+    def test_src_repro_is_effects_clean(self):
+        project = Project.load([SRC_REPRO])
+        assert check_effects(project) == []
+
+    def test_findings_and_report_are_discovery_order_invariant(self):
+        forward = Project.load(sorted(SRC_REPRO.rglob("*.py")))
+        backward = Project.load(sorted(SRC_REPRO.rglob("*.py"), reverse=True))
+        assert [f.render() for f in check_effects(forward)] == \
+            [f.render() for f in check_effects(backward)]
+        assert effects_report(forward) == effects_report(backward)
+
+    def test_effect_model_matches_the_production_contract(self):
+        analysis = EffectAnalysis(Project.load([SRC_REPRO]))
+        # Exactly one choke point, and it is the CacheSets API.
+        assert analysis.choke_points() == \
+            ["repro.cache.sets:CacheSets._membership_update"]
+        # Every policy fast hook is covered by the subsumption check.
+        classes = {cid for cid, _fast, _scalar in analysis.fast_pairs()}
+        assert "repro.cache.writethrough:WriteThrough" in classes
+        assert "repro.cache.leavo:LeavO" in classes
+        assert "repro.core.kdd:KDD" in classes
+        # The sweep worker surface includes both cell runners and hooks.
+        entries = analysis.sweep_entries()
+        assert "repro.harness.sweep:_execute_cell" in entries
+        assert any(e.startswith("repro.engine.hooks:") for e in entries)
+
+    def test_removing_the_epoch_bump_fails_the_contract(self, analyze_tree):
+        # Acceptance proof: strip the bump from the production choke
+        # point and RPR202 must fire on the otherwise-identical tree.
+        sets_src = (SRC_REPRO / "cache" / "sets.py").read_text()
+        contracts_src = (SRC_REPRO / "contracts.py").read_text()
+        broken = sets_src.replace("self.mutations += 1", "pass")
+        assert broken != sets_src
+        project = analyze_tree({
+            "contracts.py": contracts_src,
+            "cache/sets.py": broken,
+        })
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR202"]
+        assert "_membership_update()" in findings[0].message
+
+    def test_effects_report_shape(self, tmp_path):
+        import json
+
+        doc = json.loads(effects_report(Project.load([SRC_REPRO])))
+        assert doc["version"] == 1
+        assert doc["membership"]["epoch"] == "mutations"
+        assert sorted(doc["membership"]["attrs"]) == \
+            ["_index", "_lba_table"]
+        assert all(fp["extra"] == [] for fp in doc["fast_paths"])
+        cached = doc["sweep"]["cached_functions"]
+        assert cached and all(entry["allowlisted"] for entry in cached)

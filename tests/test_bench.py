@@ -79,9 +79,23 @@ def test_report_roundtrip(tmp_path):
     assert json.loads(text) == report
 
 
+def test_load_report_corrupt_baseline_is_config_error(tmp_path):
+    path = tmp_path / "BENCH_fig4.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigError, match=r"unreadable bench baseline .*BENCH_fig4\.json"):
+        load_report("fig4", tmp_path)
+
+
 def test_run_benches_rejects_unknown_figure(tmp_path):
     with pytest.raises(ConfigError, match="unknown bench figures"):
         run_benches(["fig99"], out_dir=tmp_path)
+
+
+def test_run_benches_check_requires_baselines_up_front(tmp_path):
+    # No baseline committed: --check must refuse before benching,
+    # naming every missing file.
+    with pytest.raises(ConfigError, match=r"missing: .*BENCH_fig4\.json"):
+        run_benches(["fig4"], out_dir=tmp_path, check_only=True)
 
 
 def test_kdd_variant_cells_map_to_kdd():
@@ -127,10 +141,13 @@ def test_cli_bench_subcommand_wiring(tmp_path, capsys, monkeypatch):
     # --check against the baseline just written: clean
     assert cli.main(["bench", "fig4", "--out-dir", str(tmp_path),
                      "--check"]) == 0
-    # --check with a missing baseline fails
+    # --check with a missing baseline is a configuration error naming
+    # the absent file (exit 2, no bare traceback)
     rc = cli.main(["bench", "fig5", "--out-dir", str(tmp_path), "--check"])
-    assert rc == 1
-    assert "no committed BENCH_fig5.json baseline" in capsys.readouterr().out
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "kdd-repro bench:" in err
+    assert f"{tmp_path}/BENCH_fig5.json" in err
     # --check --artifact-dir writes the fresh report without touching
     # the baseline directory
     artifacts = tmp_path / "out"
