@@ -11,6 +11,30 @@ page, so GC never reads flash.
 The head and tail counters live in NVRAM; on power failure the mapping
 is rebuilt by replaying the log pages from head to tail and then
 overlaying the NVRAM buffers (Section III-E1).
+
+Crash ordering
+--------------
+
+Flash page programs are the only operations that can tear; every NVRAM
+word write is durable the instant it happens.  The protocol therefore
+never lets a batch of entries exist *only* in the torn window:
+
+* :meth:`commit` moves the drained batch to a ``_committing`` stack
+  (still NVRAM) and advances ``tail`` *before* the page program; the
+  batch is released only after the program completed.  Recovery overlays
+  :meth:`nvram_entries` — committing batches plus the buffer — over the
+  replayed pages, so a crash before, during (torn prefix), or after the
+  program always recovers the full batch.
+* :meth:`_reclaim_head` moves the reclaimed page's live entries into a
+  ``_relocating`` NVRAM retention list in the same journaled step that
+  advances ``head``; each entry is released only once its copy is back
+  in the buffer, so mid-GC crashes lose nothing.
+* :meth:`reserve` pre-commits until the buffer has room, letting callers
+  group an NVRAM mutation with its mapping record into one journaled
+  transaction with no flash program in between.
+
+The crash harness (:mod:`repro.faults.crash`) enumerates a crash point
+at each of these steps via the duck-typed ``shim`` attribute.
 """
 
 from __future__ import annotations
@@ -22,6 +46,9 @@ from ..nvram.metabuffer import MappingEntry, MetadataBuffer, PageState
 
 class MetadataLog:
     """Persistent circular log of mapping entries, with oldest-first GC."""
+
+    #: Crash-point shim (duck-typed, installed by ``repro.faults.crash``).
+    shim = None
 
     def __init__(
         self,
@@ -47,6 +74,12 @@ class MetadataLog:
         # NVRAM counters: monotonically increasing page sequence numbers.
         self.head = 0
         self.tail = 0
+        # NVRAM retention of batches whose page program is in flight
+        # (a stack: commits nest through GC relocation).
+        self._committing: list[list[MappingEntry]] = []
+        # NVRAM retention of live entries leaving a reclaimed head page
+        # but not yet re-buffered.
+        self._relocating: list[MappingEntry] = []
 
         # In-memory bookkeeping (rebuilt on recovery):
         self._page_live: dict[int, dict[int, MappingEntry]] = {}
@@ -76,15 +109,26 @@ class MetadataLog:
     def record(self, entry: MappingEntry) -> None:
         """Buffer a new mapping entry; commits a page when the buffer fills."""
         self._supersede(entry.lba_raid)
+        self.reserve()
+        if self.shim is not None:
+            self.shim.point("meta_put", lba=entry.lba_raid)
+        self.buffer.put(entry)
+
+    def reserve(self, slots: int = 1) -> None:
+        """Commit pages until the NVRAM buffer has ``slots`` free entries.
+
+        Callers that must pair a mapping record with other NVRAM writes
+        in one journaled transaction reserve the room first, so the
+        record itself can never trigger a flash program mid-transaction.
+        """
         attempts = 2 * self.capacity_pages
-        while self.buffer.full:  # commit may re-buffer entries via GC
+        while self.buffer.capacity_entries - len(self.buffer) < slots:
             if attempts == 0:
                 raise RecoveryError(
                     "metadata partition too small for the live mapping"
                 )
             attempts -= 1
             self.commit()
-        self.buffer.put(entry)
 
     def _supersede(self, lba_raid: int) -> None:
         """The current persisted entry for this page (if any) becomes dead."""
@@ -99,13 +143,24 @@ class MetadataLog:
         entries = self.buffer.drain()
         if not entries:
             return
+        # Atomic NVRAM move: buffer -> committing retention.  The batch
+        # stays crash-recoverable (see nvram_entries) until the page
+        # program below has completed; on a simulated power failure the
+        # stack is deliberately left as-is.
+        self._committing.append(entries)
         self._make_room()
         seq = self.tail
+        self.tail += 1
+        if self.shim is not None:
+            # One hook covers the before/torn/after phases of the page
+            # program: the harness synthesises the torn prefix image.
+            self.shim.flash_point("mlog_commit", self, seq, entries)
         if self.ssd is not None:
             self.ssd.write(self._lpn_of(seq))
         self.meta_page_writes += 1
-        self.tail += 1
         self._page_image[seq] = list(entries)
+        # Program acknowledged: release the NVRAM retention.
+        self._committing.pop()
         self._page_live[seq] = {e.lba_raid: e for e in entries}
         for e in entries:
             # A committed entry supersedes any older copy still sitting in a
@@ -140,9 +195,21 @@ class MetadataLog:
             self._reclaim_head()
 
     def _reclaim_head(self) -> None:
-        """Oldest-first GC of one page: re-buffer its live entries."""
+        """Oldest-first GC of one page: re-buffer its live entries.
+
+        Crash-safe ordering: the page leaves the replay window (``head``
+        advances) in the same journaled NVRAM step that moves its live
+        entries into the ``_relocating`` retention list; each entry is
+        released only after its copy is back in the buffer.  At every
+        crash point a live entry is durable on its old page, in the
+        retention list, or in the buffer — never nowhere.
+        """
         seq = self.head
         live = self._page_live.pop(seq, {})
+        keep = [e for e in live.values() if e.state is not PageState.FREE]
+        if self.shim is not None:
+            self.shim.point("gc_head_advance", seq=seq)
+        self._relocating.extend(keep)
         self._page_image.pop(seq, None)
         self.head += 1
         self.gc_pages_reclaimed += 1
@@ -160,7 +227,10 @@ class MetadataLog:
             self.gc_entries_relocated += 1
             while self.buffer.full:
                 self.commit()
+            if self.shim is not None:
+                self.shim.point("gc_relocate", lba=lba_raid)
             self.buffer.put(entry)
+            self._relocating.remove(entry)
 
     # -- recovery (Section III-E1) ---------------------------------------------
 
@@ -169,7 +239,8 @@ class MetadataLog:
 
         Returns the latest entry per storage page, exactly what a
         post-power-failure scan would produce (NVRAM buffers are overlaid
-        by the caller).
+        by the caller).  A page whose program never completed reads back
+        empty or as a prefix; the NVRAM overlay supersedes it.
         """
         mapping: dict[int, MappingEntry] = {}
         for seq in range(self.head, self.tail):
@@ -177,8 +248,28 @@ class MetadataLog:
                 mapping[entry.lba_raid] = entry
         return mapping
 
+    def nvram_entries(self) -> list[MappingEntry]:
+        """Every mapping entry currently held in NVRAM, oldest first.
+
+        Relocating entries (mid-GC), then committing batches (drained
+        from the buffer but whose page program has not been
+        acknowledged), then the buffer — a dict overlay in that order
+        keeps the newest copy.  The three regions never hold *different*
+        entries for the same page (see the protocol notes above), so the
+        order only matters for documentation.
+        """
+        out: list[MappingEntry] = list(self._relocating)
+        for batch in self._committing:
+            out.extend(batch)
+        out.extend(self.buffer.snapshot())
+        return out
+
     def check_invariants(self) -> None:
         """Bookkeeping consistency, used by the test suite."""
+        if self._committing:
+            raise RecoveryError("metadata page program left unacknowledged")
+        if self._relocating:
+            raise RecoveryError("GC relocation left entries in retention")
         for lba, seq in self._location.items():
             if not self.head <= seq < self.tail:
                 raise RecoveryError(f"location of {lba} points outside the log")

@@ -29,6 +29,7 @@ because delta locations are embedded in the *old* entries (Figure 3).
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,10 +72,17 @@ class DezPage:
         return self.packed.valid_count
 
 
+#: Shared no-op context for the un-instrumented (shim-less) fast path.
+_NULL_TXN = nullcontext()
+
+
 class KDD(SetAssocPolicy):
     """The KDD cache management scheme."""
 
     name = "kdd"
+
+    #: Crash-point shim (duck-typed, installed by ``repro.faults.crash``).
+    shim = None
 
     #: CPU cost of delta (de)compression on the critical path, seconds.
     #: "tens of microseconds" (Section IV-B2) for an lzo-class codec.
@@ -122,6 +130,13 @@ class KDD(SetAssocPolicy):
 
     # -- metadata helpers --------------------------------------------------
 
+    def _txn(self):
+        """NVRAM journal transaction: multi-word metadata updates that must
+        be atomic with respect to power failure (no crash point fires
+        inside; see DESIGN.md section 13).  A no-op without a shim."""
+        shim = self.shim
+        return shim.txn() if shim is not None else _NULL_TXN
+
     def _meta_record(self, entry: MappingEntry) -> None:
         before = self.mlog.meta_page_writes
         self.mlog.record(entry)
@@ -156,8 +171,15 @@ class KDD(SetAssocPolicy):
         self._record_clean(line)
 
     def _drop_line(self, line: CacheLine) -> None:
-        super()._drop_line(line)
-        self._record_free(line.lba)
+        # One journaled transaction: directory removal and the FREE
+        # tombstone hit NVRAM together, so a crash never sees a dropped
+        # line still mapped (or vice versa).  Buffer room is reserved
+        # first — the record can then never trigger a page program
+        # mid-transaction.
+        self.mlog.reserve()
+        with self._txn():
+            super()._drop_line(line)
+            self._record_free(line.lba)
 
     def _daz_budget_ok(self) -> bool:
         if self.fixed_dez_fraction is None:
@@ -257,19 +279,23 @@ class KDD(SetAssocPolicy):
         self._ssd_read(1)
         out.fg_ssd_reads += 1
 
+        self._stale_order.setdefault(self.raid.layout.stripe_of(lba), None)
         if line.state is PageState.CLEAN:
             self.sets.set_state(lba, PageState.OLD)
             line.aux = DeltaRef(size=size)
+            self._stage_delta(lba, size, out)
         else:
             ref: DeltaRef = line.aux
-            if ref.dez_lpn is None:
-                self.staging.remove(lba)
-            else:
-                self._invalidate_dez_delta(lba, ref)
-            ref.size = size
-            ref.dez_lpn = None
-        self._stale_order.setdefault(self.raid.layout.stripe_of(lba), None)
-        self._stage_delta(lba, size, out)
+            # Stage the new delta *before* invalidating its predecessor:
+            # the coalescing put is the atomic supersede for a staged
+            # delta, and a DEZ-resident one stays reachable (ref and the
+            # persisted old-entry untouched) until the replacement is in
+            # NVRAM — a crash in between loses only the in-flight write.
+            if self._stage_delta(lba, size, out):
+                if ref.dez_lpn is not None:
+                    self._invalidate_dez_delta(lba, ref)
+                ref.size = size
+                ref.dez_lpn = None
         self._maybe_clean(out)
         return out
 
@@ -305,42 +331,58 @@ class KDD(SetAssocPolicy):
         stripe = lba // self.raid.layout.stripe_data_pages
         self._fast.write_delayed(stripe)
         self.stats.ssd_reads += 1
+        self._stale_order.setdefault(stripe, None)
         if line.state is PageState.CLEAN:
             self.sets.set_state(lba, PageState.OLD)
             line.aux = DeltaRef(size=size)
+            self._stage_delta(lba, size)
         else:
             ref: DeltaRef = line.aux
-            if ref.dez_lpn is None:
-                self.staging.remove(lba)
-            else:
-                self._invalidate_dez_delta(lba, ref)
-            ref.size = size
-            ref.dez_lpn = None
-        self._stale_order.setdefault(stripe, None)
-        self._stage_delta(lba, size)
+            # Same crash-safe supersede order as the scalar write().
+            if self._stage_delta(lba, size):
+                if ref.dez_lpn is not None:
+                    self._invalidate_dez_delta(lba, ref)
+                ref.size = size
+                ref.dez_lpn = None
         self._maybe_clean()
 
     # -- staging and the Delta Zone ----------------------------------------------
 
-    def _stage_delta(self, lba: int, size: int, out: Outcome | None = None) -> None:
+    def _stage_delta(self, lba: int, size: int, out: Outcome | None = None) -> bool:
+        """Put one delta into NVRAM, committing a DEZ page first if needed.
+
+        Returns whether the delta was actually staged — False when the
+        commit force-cleaned this page's stripe, in which case the caller
+        must leave its delta reference untouched.
+        """
         if not self.staging.would_fit_after_coalesce(lba, size):
-            self._commit_staging(out)
+            # The delta this put is about to supersede (if staged) is
+            # excluded from the flush: it would be dead on arrival in the
+            # DEZ page, and it must survive in NVRAM until the coalescing
+            # put below atomically replaces it.
+            self._commit_staging(out, exclude=lba)
             # The commit may have force-cleaned this page's stripe (cache
             # fully pinned), repairing its parity and reclaiming the line —
             # the fresh delta is then no longer needed.
             line = self.sets.lookup(lba)
             if line is None or line.state is not PageState.OLD:
-                return
+                return False
         self.staging.put(lba, size)
+        return True
 
-    def _commit_staging(self, out: Outcome | None = None) -> None:
+    def _commit_staging(
+        self, out: Outcome | None = None, exclude: int | None = None
+    ) -> None:
         """Compact all staged deltas into DEZ pages and flush them.
 
         With the default one-page staging buffer everything fits one DEZ
         page; larger NVRAM buffers are split greedily into page-sized
-        groups.
+        groups.  Deltas move to the staging buffer's *flushing* region —
+        still NVRAM, still crash-surviving — and are released only once
+        their page's *old* mapping entry (with the DEZ location) is
+        durable in the metadata buffer.
         """
-        items = self.staging.drain()
+        items = self.staging.begin_flush(exclude=exclude)
         if not items:
             return
         if out is None:  # columnar fast path: background ops are discarded
@@ -357,11 +399,14 @@ class KDD(SetAssocPolicy):
             used += need
         for group in groups:
             self._commit_one_dez_page(group, out)
+        if self.staging.flushing_count:
+            raise CacheError("deltas left in the flushing region after commit")
 
     def _commit_one_dez_page(self, items: list, out: Outcome) -> None:
         # an earlier group's forced cleaning may have repaired some of these
-        # stripes already; drop deltas whose page is no longer old
-        items = [
+        # stripes already; drop deltas whose page is no longer old (their
+        # flushing copies died with the reclaimed lines)
+        kept = [
             d
             for d in items
             if (l := self.sets.lookup(d.lba)) is not None
@@ -369,25 +414,33 @@ class KDD(SetAssocPolicy):
             and l.aux is not None
             and l.aux.dez_lpn is None
         ]
-        if not items:
+        for d in items:
+            if d not in kept:
+                self.staging.flush_done(d.lba)
+        if not kept:
             return
         loc = self._alloc_dez_slot()
         if loc is None:
             # Cache completely pinned: repair the stripes of the staged
-            # deltas right now; the deltas then die without a DEZ write.
+            # deltas right now; the deltas then die without a DEZ write
+            # (each line's reclaim releases its flushing copy).
             self.forced_cleanings += 1
-            stripes = {self.raid.layout.stripe_of(d.lba) for d in items}
-            staged = {d.lba: d.size for d in items}
+            stripes = {self.raid.layout.stripe_of(d.lba) for d in kept}
             for stripe in sorted(stripes):
                 self._stale_order.pop(stripe, None)
-                self._clean_stripe(stripe, out, dropped_staging=staged)
+                self._clean_stripe(stripe, out)
             return
         set_idx, slot = loc
         lpn = self.meta_pages + self.sets.lpn_of(set_idx, slot)
         packed = pack_deltas(
-            [(d.lba, d.size, d.payload) for d in items], self.config.page_size
+            [(d.lba, d.size, d.payload) for d in kept], self.config.page_size
         )
         self.dez_pages[lpn] = DezPage(lpn=lpn, set_idx=set_idx, slot=slot, packed=packed)
+        if self.shim is not None:
+            # A torn DEZ program loses only flash bytes: every delta in
+            # the page is still NVRAM-resident (flushing) and every old
+            # entry still points at NVRAM, so recovery ignores the page.
+            self.shim.point("dez_commit", lpn=lpn)
         self._ssd_write(lpn, "delta")
         out.bg_ssd_writes += 1
         for d in packed.deltas:
@@ -395,8 +448,15 @@ class KDD(SetAssocPolicy):
             if line is None or line.state is not PageState.OLD:
                 raise CacheError(f"staged delta for non-old page {d.lba}")
             ref: DeltaRef = line.aux
-            ref.dez_lpn = lpn
-            self._record_old(line, ref, d.offset, d.length)
+            # One journaled transaction per delta: the DEZ pointer becomes
+            # durable (old-entry in the metadata buffer) in the same
+            # instant its NVRAM copy is released — crash on either side
+            # recovers the delta from exactly one place.
+            self.mlog.reserve()
+            with self._txn():
+                ref.dez_lpn = lpn
+                self._record_old(line, ref, d.offset, d.length)
+                self.staging.flush_done(d.lba)
 
     def _alloc_dez_slot(self) -> tuple[int, int] | None:
         if (
@@ -453,12 +513,7 @@ class KDD(SetAssocPolicy):
             del self._stale_order[stripe]
             self._clean_stripe(stripe, out)
 
-    def _clean_stripe(
-        self,
-        stripe: int,
-        out: Outcome,
-        dropped_staging: dict[int, int] | None = None,
-    ) -> None:
+    def _clean_stripe(self, stripe: int, out: Outcome) -> None:
         """Repair one stripe's parity and reclaim its old pages."""
         stripe_lbas = self.raid.layout.stripe_pages(stripe)
         cached = self.sets.resident_in_range(stripe_lbas.start, stripe_lbas.stop)
@@ -467,9 +522,9 @@ class KDD(SetAssocPolicy):
             if (l := self.sets.lookup(lba)).state is PageState.OLD
         ]
         deltas = {l.lba: b"" for l in old_lines}
-        if dropped_staging:
-            deltas.update({lba: b"" for lba in dropped_staging})
         if not deltas:
+            if self.shim is not None:
+                self.shim.point("cleaner_parity", stripe=stripe)
             out.bg_disk_ops.extend(self.raid.parity_update(stripe, deltas={}, cached_pages=cached))
             return
         self.cleanings += 1
@@ -483,26 +538,38 @@ class KDD(SetAssocPolicy):
         ssd_reads = (len(cached) if all_cached else 0) + len(dez_lpns)
         if ssd_reads:
             self._ssd_read(ssd_reads)
+        if self.shim is not None:
+            # A crash here leaves the stripe's parity stale and every
+            # delta in place — exactly the state the cleaner found.
+            self.shim.point("cleaner_parity", stripe=stripe)
         out.bg_disk_ops.extend(
             self.raid.parity_update(stripe, deltas=deltas, cached_pages=cached)
         )
 
         for line in old_lines:
             ref: DeltaRef = line.aux
-            if ref.dez_lpn is None:
-                self.staging.remove(line.lba)
-            else:
-                self._invalidate_dez_delta(line.lba, ref)
-            if self.reclaim_merge:
-                # alternative scheme: merge old+delta and keep the page clean
-                line.aux = None
-                self.sets.set_state(line.lba, PageState.CLEAN)
-                self._ssd_write(self._data_lpn(line), "data")
-                out.bg_ssd_writes += 1
-                self._record_clean(line)
-            else:
-                line.aux = None
-                self._drop_line(line)
+            # Parity is repaired: each line's reclaim (delta invalidation
+            # plus its mapping record) is one journaled transaction, with
+            # metadata-buffer room reserved up front so the record cannot
+            # trigger a page program mid-transaction.
+            self.mlog.reserve()
+            if self.shim is not None:
+                self.shim.point("clean_reclaim", lba=line.lba)
+            with self._txn():
+                if ref.dez_lpn is None:
+                    self.staging.remove(line.lba)
+                else:
+                    self._invalidate_dez_delta(line.lba, ref)
+                if self.reclaim_merge:
+                    # alternative scheme: merge old+delta, keep the page clean
+                    line.aux = None
+                    self.sets.set_state(line.lba, PageState.CLEAN)
+                    self._ssd_write(self._data_lpn(line), "data")
+                    out.bg_ssd_writes += 1
+                    self._record_clean(line)
+                else:
+                    line.aux = None
+                    self._drop_line(line)
 
     def finish(self) -> None:
         """Repair all remaining stale parity (orderly shutdown)."""

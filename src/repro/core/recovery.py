@@ -56,8 +56,9 @@ def recover_from_power_failure(kdd: KDD) -> RecoveredState:
     """
     # 1) replay the circular log (head -> tail)
     mapping: dict[int, MappingEntry] = kdd.mlog.replay()
-    # 2) overlay the NVRAM metadata buffer (newer than anything on flash)
-    for entry in kdd.mlog.buffer.snapshot():
+    # 2) overlay every NVRAM-held entry (newer than anything on flash):
+    #    batches whose page program was cut short, then the buffer
+    for entry in kdd.mlog.nvram_entries():
         mapping[entry.lba_raid] = entry
     # 3) build the page view, dropping FREE tombstones
     state = RecoveredState()
@@ -75,6 +76,12 @@ def recover_from_power_failure(kdd: KDD) -> RecoveredState:
     for staged in kdd.staging.snapshot():
         prev = state.pages.get(staged.lba)
         if prev is None:
+            raw = mapping.get(staged.lba)
+            if raw is not None and raw.state is PageState.FREE:
+                # The page was reclaimed (its parity repaired) while its
+                # delta was still flushing: the FREE tombstone is newer,
+                # the orphaned delta is dead weight and is discarded.
+                continue
             raise RecoveryError(
                 f"staged delta for page {staged.lba} with no persisted mapping"
             )

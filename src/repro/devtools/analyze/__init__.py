@@ -22,6 +22,7 @@ RPR203     batch reader may write membership state
 RPR204     fast-path write-set exceeds scalar write-set + delta surface
 RPR205     sweep-worker-reachable code mutates module-level state
 RPR206     ``lru_cache`` on sweep-worker-reachable code (unallowlisted)
+RPR207     power-failure recovery reads outside the crash-surviving surface
 =========  ============================================================
 
 The analyzer is held to the determinism bar it enforces: findings and

@@ -81,7 +81,7 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--effects", action="store_true",
-        help="run only the effect/write-set contracts (RPR201-RPR206)",
+        help="run only the effect/write-set contracts (RPR201-RPR207)",
     )
     parser.add_argument(
         "--effects-report", metavar="FILE", type=Path, default=None,

@@ -1,4 +1,4 @@
-"""Effect/write-set analysis (RPR201-RPR206).
+"""Effect/write-set analysis (RPR201-RPR207).
 
 Infers, per project function, the set of object attributes it may
 mutate — assignments, augmented assignments and ``del`` through
@@ -25,6 +25,11 @@ three contract families on top of the write-sets:
   attributes) and caching decorators reachable from the sweep
   process-pool worker entry points and from engine hooks are flagged
   unless allowlisted, statically pinning process-pool determinism.
+* **Recovery read-surface** (RPR207).  The interprocedural *read*
+  closure of the power-failure recovery entry point must stay inside
+  the declared crash-surviving surface (NVRAM words and flash page
+  images); a recovery path that consults live volatile state only
+  looks correct until a real power loss.
 
 Soundness note: like the exception-flow analysis, the resolver covers
 module functions, ``self.m()`` through the concrete receiver class,
@@ -82,8 +87,10 @@ SWEEP_ENTRY_POINTS = (
     ("repro.harness.sweep", (
         "_execute_cell", "_run_sim_cell", "_run_replay_cell",
         "_run_fio_cell", "_run_stats_cell", "_run_faults_cell",
+        "_run_reliability_cell",
     )),
     ("repro.harness.faultsweep", ("run_faults_cell", "demo_op_trace")),
+    ("repro.harness.relsweep", ("run_reliability_cell",)),
 )
 #: Engine hooks run inside worker cells too (fault pipelines,
 #: instrumentation); every method of every subclass is an entry point.
@@ -104,6 +111,35 @@ MUTATING_METHODS = frozenset({
 
 #: functools caching decorators (per-process state by construction).
 CACHE_DECORATORS = frozenset({"cache", "lru_cache"})
+
+#: The power-failure recovery entry point (RPR207).  Its whole-program
+#: *read* closure must stay inside the declared crash-surviving
+#: surface below: recovery consulting any other state is exactly the
+#: bug the crash matrix exists to catch — a recovery that "works" in
+#: tests because it peeks at live in-memory state that would be gone
+#: after a real power loss.
+RECOVERY_ENTRY = "repro.core.recovery:recover_from_power_failure"
+#: Attributes of the crashed object the recovery may consult, and the
+#: class each resolves to (``repro.faults.crash._RecoveryStandin``
+#: mirrors exactly this shape when recovering from a snapshot).
+RECOVERY_ROOTS = {
+    "mlog": "repro.cache.mlog:MetadataLog",
+    "staging": "repro.nvram.staging:StagingBuffer",
+}
+#: Per class: the attributes that survive a power failure — NVRAM
+#: words (head/tail counters, retention lists, buffered entries) and
+#: committed flash page images.  Everything else on these classes is
+#: volatile bookkeeping.
+RECOVERY_SURFACE = {
+    "repro.cache.mlog:MetadataLog": frozenset({
+        "head", "tail", "_page_image", "buffer", "_committing",
+        "_relocating",
+    }),
+    "repro.nvram.staging:StagingBuffer": frozenset({
+        "_entries", "_flushing",
+    }),
+    "repro.nvram.metabuffer:MetadataBuffer": frozenset({"_entries"}),
+}
 
 _PROTECTED = MEMBERSHIP_ATTRS | {EPOCH_ATTR}
 _INIT_METHODS = frozenset({"__init__", "__post_init__"})
@@ -632,6 +668,7 @@ class EffectAnalysis:
         findings.extend(self._check_mirror_coherence())
         findings.extend(self._check_fast_subsumption())
         findings.extend(self._check_sweep_purity())
+        findings.extend(self.check_recovery_surface())
         return sorted(findings, key=Finding.sort_key)
 
     def _mod_of(self, func: FuncInfo) -> ModuleInfo:
@@ -754,6 +791,157 @@ class EffectAnalysis:
             ))
         return findings
 
+    # -- recovery read-surface (RPR207) --------------------------------------
+
+    def _recovery_chains(
+        self, func: FuncInfo, roots: frozenset[str]
+    ) -> list[tuple[list[str], int, int, bool]]:
+        """Attribute chains rooted at ``roots`` in ``func``'s body.
+
+        Returns ``(parts, line, col, as_argument)`` per chain; a chain
+        with ``as_argument`` is the bare root passed to a callable —
+        the one shape that would let reads escape the closure, so the
+        check flags it rather than guessing.  Plain aliases
+        (``x = root.attr``) extend the root set with their one-level
+        chain; values produced *through a call* are data, not state,
+        and deeper reads on them are not tracked.
+        """
+        aliases: dict[str, list[str]] = {}
+        out: list[tuple[list[str], int, int, bool]] = []
+        nodes = _shallow_walk(func.node)
+        for node in nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name) and \
+                    isinstance(node.value, ast.Attribute):
+                root, parts = _chain(node.value)
+                if isinstance(root, ast.Name) and root.id in roots and \
+                        _SUB not in parts:
+                    aliases[node.targets[0].id] = parts
+        for node in nodes:
+            if isinstance(node, ast.Attribute):
+                root, parts = _chain(node)
+                if not isinstance(root, ast.Name):
+                    continue
+                if root.id in roots:
+                    out.append((parts, node.lineno, node.col_offset, False))
+                elif root.id in aliases:
+                    out.append((aliases[root.id] + parts,
+                                node.lineno, node.col_offset, False))
+            elif isinstance(node, ast.Call):
+                for arg in (*node.args,
+                            *(kw.value for kw in node.keywords)):
+                    if isinstance(arg, ast.Name) and arg.id in roots:
+                        out.append(([], arg.lineno, arg.col_offset, True))
+        return out
+
+    def _recovery_walk(
+        self, class_id: str, parts: list[str], mod: ModuleInfo,
+        line: int, col: int, findings: list[Finding],
+        visited: set[tuple[str, str]], origin: str,
+    ) -> None:
+        """Check one attribute chain against ``class_id``'s surface."""
+        if not parts or parts[0] is _SUB or parts[0] == _SUB:
+            return
+        name = parts[0]
+        if self.project.find_method(class_id, name) is not None:
+            # A method (or property) of the surface class: recurse into
+            # its body — its reads are part of the closure.
+            self._recovery_visit(class_id, name, findings, visited)
+            return  # its return value is derived data, not state
+        allowed = RECOVERY_SURFACE.get(class_id, frozenset())
+        if name not in allowed:
+            cls = class_id.rsplit(":", 1)[1]
+            findings.append(finding_at(
+                mod, line, col, "RPR207",
+                f"recovery read-closure escapes the crash-surviving "
+                f"surface: {origin} reads {cls}.{name}, which does not "
+                f"survive a power failure (declared surface: "
+                f"{', '.join(sorted(allowed)) or 'none'})",
+            ))
+            return
+        attr_cls = self._attr_class_in(class_id, name)
+        rest = parts[1:]
+        if attr_cls and rest:
+            self._recovery_walk(attr_cls, rest, mod, line, col,
+                                findings, visited, origin)
+        # Unresolved sub-objects (dicts, lists, tuples of entries) are
+        # the declared attribute's *value*: reading through them is the
+        # point of the surface.
+
+    def _recovery_visit(
+        self, class_id: str, method: str, findings: list[Finding],
+        visited: set[tuple[str, str]],
+    ) -> None:
+        key = (class_id, method)
+        if key in visited:
+            return
+        visited.add(key)
+        func = self.project.find_method(class_id, method)
+        if func is None:
+            return
+        mod = self._mod_of(func)
+        origin = f"{func.qualname}()"
+        for parts, line, col, as_arg in self._recovery_chains(
+                func, frozenset({"self"})):
+            if as_arg:
+                findings.append(finding_at(
+                    mod, line, col, "RPR207",
+                    f"{origin} passes the receiver to another callable; "
+                    "the recovery read-closure cannot follow it — keep "
+                    "crash-surviving reads first-person",
+                ))
+                continue
+            self._recovery_walk(class_id, parts, mod, line, col,
+                                findings, visited, origin)
+
+    def check_recovery_surface(self) -> list[Finding]:
+        """RPR207: the interprocedural read-closure of the power-failure
+        recovery entry point stays inside the declared crash-surviving
+        surface (:data:`RECOVERY_ROOTS` / :data:`RECOVERY_SURFACE`)."""
+        entry = self.project.functions.get(RECOVERY_ENTRY)
+        if entry is None:
+            return []
+        findings: list[Finding] = []
+        visited: set[tuple[str, str]] = set()
+        mod = self._mod_of(entry)
+        origin = f"{entry.qualname}()"
+        param_names = [a.arg for a in entry.node.args.args]
+        if not param_names:
+            return []
+        root = param_names[0]
+        for parts, line, col, as_arg in self._recovery_chains(
+                entry, frozenset({root})):
+            if as_arg:
+                findings.append(finding_at(
+                    mod, line, col, "RPR207",
+                    f"{origin} passes the crashed object to another "
+                    "callable; the recovery read-closure cannot follow "
+                    "it — consult the crash-surviving surface directly",
+                ))
+                continue
+            if not parts:
+                continue
+            first = parts[0]
+            if first not in RECOVERY_ROOTS:
+                findings.append(finding_at(
+                    mod, line, col, "RPR207",
+                    f"recovery read-closure escapes the crash-surviving "
+                    f"surface: {origin} reads the crashed object's "
+                    f"'{first}', which does not survive a power failure "
+                    f"(declared roots: "
+                    f"{', '.join(sorted(RECOVERY_ROOTS))})",
+                ))
+                continue
+            self._recovery_walk(RECOVERY_ROOTS[first], parts[1:], mod,
+                                line, col, findings, visited, origin)
+        # A chain and its prefixes share a site; keep one finding each.
+        unique: dict[tuple, Finding] = {}
+        for finding in findings:
+            key = (finding.relpath, finding.line, finding.col,
+                   finding.message)
+            unique.setdefault(key, finding)
+        return list(unique.values())
+
     def _check_sweep_purity(self) -> list[Finding]:
         findings: list[Finding] = []
         reached = self.sweep_reachable()
@@ -784,8 +972,8 @@ class EffectAnalysis:
 
 
 def check_effects(project: Project) -> list[Finding]:
-    """RPR201-RPR206: mirror coherence, fast-path effect subsumption,
-    and sweep-parallelism race detection."""
+    """RPR201-RPR207: mirror coherence, fast-path effect subsumption,
+    sweep-parallelism race detection, and the recovery read-surface."""
     return EffectAnalysis(project).check()
 
 

@@ -105,6 +105,16 @@ class RecoveryError(ReproError):
     """Crash/failure recovery could not restore a consistent state."""
 
 
+class SimulatedPowerFailure(ReproError):
+    """An armed crash point fired (see :mod:`repro.faults.crash`).
+
+    Deliberately *not* a :class:`RecoveryError`: the power failure
+    itself is the injected event, not a recovery defect.  The harness
+    catches it, leaves the cache exactly in its crash-surviving state,
+    and then exercises ``recover_from_power_failure`` for real.
+    """
+
+
 _F = TypeVar("_F", bound=Callable[..., object])
 
 

@@ -43,10 +43,16 @@ from .schedule import (
 #: device fault hooks — importing them eagerly here would be circular.
 _LAZY = {
     "FaultyTimedSystem": "timed",
+    "StaleExposureHook": "timed",
     "rebuild_under_load": "timed",
     "Scrubber": "scrubber",
     "ScrubReport": "scrubber",
     "demo_event_log": "demo",
+    "CRASH_POINT_KINDS": "crash",
+    "CrashMatrixReport": "crash",
+    "CrashPointShim": "crash",
+    "attach_crash_shim": "crash",
+    "run_crash_matrix": "crash",
 }
 
 
@@ -60,7 +66,10 @@ def __getattr__(name: str) -> Any:
 
 
 __all__ = [
+    "CRASH_POINT_KINDS",
     "RETRY_POLICIES",
+    "CrashMatrixReport",
+    "CrashPointShim",
     "DeviceFaultStream",
     "FaultConfig",
     "FaultCounters",
@@ -71,7 +80,10 @@ __all__ = [
     "RetryPolicy",
     "ScrubReport",
     "Scrubber",
+    "StaleExposureHook",
+    "attach_crash_shim",
     "demo_event_log",
     "rebuild_under_load",
     "retry_policy",
+    "run_crash_matrix",
 ]

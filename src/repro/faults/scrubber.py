@@ -27,6 +27,7 @@ from typing import Any
 
 from ..errors import ConfigError, DegradedError
 from ..raid.array import DiskOp, RAIDArray
+from ..stats.exposure import VulnerabilityExposure
 
 
 @dataclass
@@ -89,6 +90,7 @@ class Scrubber:
         self.repair = repair
         self.charge_verify_reads = charge_verify_reads
         self._cursor = 0
+        self._stale_samples: list[int] = []
 
     @property
     def total_stripes(self) -> int:
@@ -99,6 +101,20 @@ class Scrubber:
     def cursor(self) -> int:
         """Next stripe the incremental sweep will visit."""
         return self._cursor
+
+    @property
+    def exposure(self) -> VulnerabilityExposure:
+        """Vulnerability-window exposure the sweep has observed so far.
+
+        One sample per stripe *visit* (taken before any repair, so the
+        scrubber reports the exposure it then clears), reduced to the
+        shared :class:`~repro.stats.exposure.VulnerabilityExposure`
+        shape — the same block the fault sweep and the reliability
+        cells emit.  The span unit is scrub visits rather than
+        workload accesses; the shape and semantics are otherwise
+        identical, so reports compose.
+        """
+        return VulnerabilityExposure.from_samples(self._stale_samples)
 
     # -- per-stripe work -----------------------------------------------------
 
@@ -126,6 +142,7 @@ class Scrubber:
         """Scrub one stripe; returns its report and the member ops performed."""
         array = self.array
         report = ScrubReport(stripes_scanned=1)
+        self._stale_samples.append(len(array.stale_stripes))
         ops: list[DiskOp] = []
         if self.charge_verify_reads:
             reads = self.verify_ops(stripe)

@@ -30,17 +30,46 @@ foreground trace — the classic degraded-mode experiment.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from ..cache.base import CachePolicy
 from ..disk.hdd import HDDParams
-from ..engine.hooks import FaultPipelineHook
+from ..engine.hooks import EngineHook, FaultPipelineHook
 from ..errors import ConfigError, DegradedError, raises
 from ..flash.device import SSDLatency
 from ..raid.rebuild import RebuildReport, finish_rebuild, iter_rebuild_ops
 from ..sim.system import TimedSystem
+from ..stats.exposure import VulnerabilityExposure
 from ..traces.record import IORequest
 from .retry import RetryPolicy, retry_policy
 from .schedule import FaultConfig, FaultCounters, FaultSchedule
+
+if TYPE_CHECKING:
+    from ..engine.system import RequestRecord, SimEngine
+
+
+class StaleExposureHook(EngineHook):
+    """Samples the stale-stripe count after every foreground request.
+
+    The samples reduce to the shared
+    :class:`~repro.stats.exposure.VulnerabilityExposure` shape — the
+    same block the scrubber and the reliability cells report — so a
+    fault sweep's vulnerability-window exposure composes with both.
+    Sampling at request completion makes the span unit *accesses*, the
+    convention of every workload-driven producer.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[int] = []
+
+    def on_request_done(self, engine: "SimEngine",
+                        record: "RequestRecord") -> None:
+        self._samples.append(len(engine.policy.raid.stale_stripes))
+
+    @property
+    def exposure(self) -> VulnerabilityExposure:
+        """The exposure observed so far, in the shared shape."""
+        return VulnerabilityExposure.from_samples(self._samples)
 
 
 class FaultyTimedSystem(TimedSystem):

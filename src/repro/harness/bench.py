@@ -311,6 +311,80 @@ def _bench_fio_engine() -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Robustness bench — crash matrix + reliability models
+# ---------------------------------------------------------------------------
+
+#: Pinned shapes for the reliability bench (mirror the test fixtures).
+_CRASH_MATRIX_ACCESSES = 160
+_RELIABILITY_CFG = dict(accesses=800, universe_pages=128, cache_pages=64,
+                        seed=3)
+_MC_BENCH_TRIALS = 20_000
+
+
+def _bench_reliability() -> dict[str, Any]:
+    """Crash-matrix and reliability-model throughput, checksummed rows.
+
+    Timed regions: the full crash matrix (capture pass plus one armed
+    replay per boundary — the dominant cost of the robustness CI step)
+    and the Monte-Carlo estimator alone (trials per wall-second over a
+    measured stale-stripe distribution).  The checksum covers only the
+    deterministic result rows, never the timings, so the baseline gates
+    numerics drift while throughput stays informational — there is no
+    ``speedup`` key, so the ratio gate does not apply.
+    """
+    from ..faults.crash import run_crash_matrix
+    from ..reliability.measure import (
+        ExposureRunConfig,
+        derive_params,
+        measure_exposure,
+        run_reliability_point,
+    )
+    from ..reliability.montecarlo import monte_carlo_loss
+
+    start = time.perf_counter()
+    matrix = run_crash_matrix(accesses=_CRASH_MATRIX_ACCESSES, seed=0,
+                              armed_stride=1)
+    crash_wall = time.perf_counter() - start
+
+    cfg = ExposureRunConfig(**_RELIABILITY_CFG)
+    point = run_reliability_point(cfg, trials=2000)
+    exposure, _scrub, samples = measure_exposure(cfg)
+    params = derive_params(exposure, iops=2.0e4)
+    start = time.perf_counter()
+    mc = monte_carlo_loss(params, trials=_MC_BENCH_TRIALS, seed=0,
+                          stale_samples=samples)
+    mc_wall = time.perf_counter() - start
+
+    point_row = point.row()
+    rows = [matrix.row(), point_row, mc.row()]
+    return {
+        "figure": "reliability",
+        "kind": "robustness",
+        "crash_matrix": {
+            "accesses": _CRASH_MATRIX_ACCESSES,
+            "boundaries": matrix.boundaries,
+            "torn_boundaries": matrix.torn_boundaries,
+            "armed_runs": matrix.armed_runs,
+            "wall_s": round(crash_wall, 4),
+            "boundaries_per_s": round(
+                matrix.boundaries / max(crash_wall, 1e-9)
+            ),
+        },
+        "monte_carlo": {
+            "trials": _MC_BENCH_TRIALS,
+            "wall_s": round(mc_wall, 4),
+            "trials_per_s": round(_MC_BENCH_TRIALS / max(mc_wall, 1e-9)),
+        },
+        "cross_check": {
+            "agrees": point_row["agrees"],
+            "p_loss_delta": point_row["p_loss_delta"],
+            "tolerance": point_row["tolerance"],
+        },
+        "row_checksum": _checksum(rows),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Per-figure entry points
 # ---------------------------------------------------------------------------
 
@@ -320,6 +394,8 @@ def bench_figure(fig: str, scale: float = BENCH_SCALE) -> dict[str, Any]:
         report = {"figure": "fig10", "kind": "engine",
                   "engine": _bench_fio_engine()}
         return report
+    if fig == "reliability":
+        return _bench_reliability()
     if fig not in _FIG_GRIDS:
         raise ConfigError(
             f"unknown bench figure {fig!r}; choose from {sorted(BENCH_FIGURES)}"
@@ -330,7 +406,8 @@ def bench_figure(fig: str, scale: float = BENCH_SCALE) -> dict[str, Any]:
     return report
 
 
-BENCH_FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10")
+BENCH_FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                 "reliability")
 
 
 # ---------------------------------------------------------------------------
@@ -453,6 +530,13 @@ def _summary_line(report: dict[str, Any]) -> str:
         eng = report["engine"]
         return (f"{fig}: engine {eng['events']} events in "
                 f"{eng['wall_s']:.2f}s ({eng['events_per_s']:,} events/s)")
+    if report["kind"] == "robustness":
+        cm, mc = report["crash_matrix"], report["monte_carlo"]
+        verdict = "agrees" if report["cross_check"]["agrees"] else "DISAGREES"
+        return (f"{fig}: crash matrix {cm['boundaries']} boundaries "
+                f"({cm['armed_runs']} armed) in {cm['wall_s']:.2f}s; "
+                f"MC {mc['trials']:,} trials in {mc['wall_s']:.2f}s "
+                f"({mc['trials_per_s']:,} trials/s); cross-check {verdict}")
     line = (
         f"{fig}: {report['cells']} cells, {report['ops']:,} ops; "
         f"scalar {report['scalar']['wall_s']:.2f}s "

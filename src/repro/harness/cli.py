@@ -130,6 +130,45 @@ def main(argv: list[str] | None = None) -> int:
         "submitted/start/finish, queue delay, residual fault) as JSONL",
     )
 
+    rel = sub.add_parser(
+        "reliability",
+        help="sweep cleaner/scrubber/rebuild knobs, measure the "
+        "vulnerability-window exposure, and cross-check the Monte-Carlo "
+        "data-loss estimate against the analytic Markov MTTDL",
+    )
+    rel.add_argument("--scrub-periods", default="0,25",
+                     help="comma-separated scrub periods in accesses, "
+                     "0 = scrubbing off (default %(default)s)")
+    rel.add_argument("--dirty-thresholds", default="0.35,0.75",
+                     help="comma-separated cleaner dirty thresholds; the "
+                     "low watermark follows at half the threshold "
+                     "(default %(default)s)")
+    rel.add_argument("--rebuild-priorities", default="1.0",
+                     help="comma-separated rebuild-rate multipliers "
+                     "(default %(default)s)")
+    rel.add_argument("--accesses", type=int, default=2000,
+                     help="measured workload length per cell "
+                     "(default %(default)s)")
+    rel.add_argument("--universe-pages", type=int, default=256,
+                     help="workload address-space size in pages "
+                     "(default %(default)s)")
+    rel.add_argument("--cache-pages", type=int, default=64,
+                     help="cache size in pages (default %(default)s)")
+    rel.add_argument("--trials", type=int, default=4000,
+                     help="Monte-Carlo trials per cell (default %(default)s)")
+    rel.add_argument("--iops", type=float, default=2.0e4,
+                     help="IOPS figure mapping accesses to wall time "
+                     "(default %(default)s)")
+    rel.add_argument("--jobs", "-j", type=int, default=1)
+    rel.add_argument("--cache-dir", default=os.environ.get("REPRO_SWEEP_CACHE"))
+    rel.add_argument("--force", action="store_true")
+    rel.add_argument("--progress", action="store_true")
+    rel.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the full nested report (exposure / scrub / params / "
+        "markov / monte_carlo blocks per cell) as JSON",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="run the scalar-vs-vectorized performance benches and track "
@@ -137,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument(
         "figures", nargs="*",
-        help="bench ids (fig4..fig10; default: all)",
+        help="bench ids (fig4..fig10, reliability; default: all)",
     )
     bench.add_argument(
         "--scale", type=float, default=None,
@@ -201,6 +240,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "faults":
         return _faults_command(args)
+
+    if args.command == "reliability":
+        return _reliability_command(args)
 
     names = list(ALL_FIGURES) if "all" in args.figures else args.figures
     unknown = [n for n in names if n not in ALL_FIGURES]
@@ -295,6 +337,7 @@ def _faults_command(args) -> int:
             ure_rate=rate,
             timeout_rate=timeout_rate,
             retry=retry,
+            track_exposure=True,
         )
         for rate in _parse_rates(args.rates, "--rates")
         for timeout_rate in _parse_rates(args.timeout_rates, "--timeout-rates")
@@ -308,7 +351,18 @@ def _faults_command(args) -> int:
     )
     start = time.time()
     result = engine.run(cells)
-    print(render_table(list(result.rows)))
+    # The nested exposure block (shared shape with the reliability
+    # report) is summarised into flat columns for the table.
+    table_rows = []
+    for row in result.rows:
+        flat = dict(row)
+        exposure = flat.pop("exposure", None)
+        if exposure:
+            flat["exposure_frac"] = exposure["exposure_fraction"]
+            flat["mean_stale"] = exposure["mean_stale_stripes"]
+            flat["mean_window"] = exposure["mean_window_accesses"]
+        table_rows.append(flat)
+    print(render_table(table_rows))
     print(f"({len(cells)} cells in {time.time() - start:.1f}s, "
           f"jobs={args.jobs})")
     if args.events_out:
@@ -321,6 +375,72 @@ def _faults_command(args) -> int:
         print(f"wrote {summary['ops_written']} op records to {args.op_trace} "
               f"({summary['requests']} requests, "
               f"mean {summary['mean_response_ms']:.3f} ms)")
+    return 0
+
+
+def _reliability_command(args) -> int:
+    import json
+
+    from .relsweep import reliability_cell
+    from .report import render_table
+
+    cells = [
+        reliability_cell(
+            cache_pages=args.cache_pages,
+            scrub_period=period,
+            dirty_threshold=dirty,
+            low_watermark=dirty / 2.0,
+            rebuild_priority=priority,
+            accesses=args.accesses,
+            universe_pages=args.universe_pages,
+            trials=args.trials,
+            iops=args.iops,
+            label=f"scrub={period} dirty={dirty} prio={priority}",
+        )
+        for period in (int(p) for p in
+                       _parse_rates(args.scrub_periods, "--scrub-periods"))
+        for dirty in _parse_rates(args.dirty_thresholds, "--dirty-thresholds")
+        for priority in _parse_rates(args.rebuild_priorities,
+                                     "--rebuild-priorities")
+    ]
+    engine = SweepEngine(
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        force=args.force,
+        progress=_print_progress if args.progress else None,
+    )
+    start = time.time()
+    result = engine.run(cells)
+    rows = [dict(r) for r in result.rows]
+    table = [
+        {
+            "label": row["label"],
+            "exposure_frac": row["exposure"]["exposure_fraction"],
+            "mean_stale": row["exposure"]["mean_stale_stripes"],
+            "mean_window": row["exposure"]["mean_window_accesses"],
+            "parity_repaired": row["scrub"]["parity_repaired"],
+            "mttdl_markov_h": f"{row['markov']['mttdl_h']:.0f}",
+            "p_markov": f"{row['markov']['p_loss']:.4f}",
+            "p_mc": f"{row['monte_carlo']['p_loss']:.4f}",
+            "delta": f"{row['p_loss_delta']:.4f}",
+            "tolerance": f"{row['tolerance']:.4f}",
+            "agrees": row["agrees"],
+            "stripes_lost": row["monte_carlo"]["mean_stripes_lost"],
+        }
+        for row in rows
+    ]
+    print(render_table(table))
+    print(f"({len(cells)} cells in {time.time() - start:.1f}s, "
+          f"jobs={args.jobs})")
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(rows, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(rows)} reliability rows to {args.report_out}")
+    disagree = [row["label"] for row in rows if not row["agrees"]]
+    if disagree:
+        print("Monte-Carlo / Markov cross-check FAILED for: "
+              + ", ".join(disagree), file=sys.stderr)
+        return 1
     return 0
 
 

@@ -24,7 +24,7 @@ from ..cache.base import CacheConfig
 from ..engine import InstrumentationHook
 from ..faults.retry import RETRY_POLICIES, retry_policy
 from ..faults.schedule import FaultConfig
-from ..faults.timed import FaultyTimedSystem
+from ..faults.timed import FaultyTimedSystem, StaleExposureHook
 from ..raid.array import RAIDArray
 from ..raid.layout import RaidLevel
 from ..sim.openloop import replay_trace
@@ -44,6 +44,7 @@ FAULTS_KEYS = (
     "max_requests",
     "max_seconds",
     "time_scale",
+    "track_exposure",
 )
 
 
@@ -58,6 +59,7 @@ def run_faults_cell(cell: SweepCell, trace: Any) -> dict[str, Any]:
     }
     retry_name = fault_kwargs.pop("retry", "backoff")
     repair_stale = fault_kwargs.pop("repair_stale_on_demand", True)
+    track_exposure = fault_kwargs.pop("track_exposure", False)
     device_failures = tuple(
         tuple(f) for f in fault_kwargs.pop("device_failures", ())
     )
@@ -73,6 +75,10 @@ def run_faults_cell(cell: SweepCell, trace: Any) -> dict[str, Any]:
         retry=retry_policy(retry_name),
         repair_stale_on_demand=repair_stale,
     )
+    exposure_hook = None
+    if track_exposure:
+        exposure_hook = StaleExposureHook()
+        system.add_hook(exposure_hook)
     rep = replay_trace(system, trace, **replay_kwargs)
     row: dict[str, Any] = {
         "workload": trace.name,
@@ -83,6 +89,9 @@ def run_faults_cell(cell: SweepCell, trace: Any) -> dict[str, Any]:
     }
     row.update(rep.row())
     row.update(system.fault_row())
+    if exposure_hook is not None:
+        # Same nested block as the reliability report (shared shape).
+        row["exposure"] = exposure_hook.exposure.row()
     return row
 
 
@@ -93,6 +102,7 @@ def faults_cell(
     ure_rate: float = 0.0,
     timeout_rate: float = 0.0,
     retry: str = "backoff",
+    track_exposure: bool = False,
     seed: int | None = None,
     label: str | None = None,
     **params: Any,
@@ -100,10 +110,21 @@ def faults_cell(
     """Convenience constructor for a ``faults`` sweep cell.
 
     ``seed=None`` (the default) opts into hash-derived per-cell seeding,
-    the sweep engine's determinism discipline.
+    the sweep engine's determinism discipline.  ``track_exposure`` adds
+    the shared vulnerability-window ``exposure`` block to the row; the
+    key enters the cell config (and thus its hash) only when set, so
+    existing cell identities are unchanged.
     """
     if retry not in RETRY_POLICIES:
         retry_policy(retry)  # raises the canonical ConfigError
+    cell_params = {
+        "ure_rate": ure_rate,
+        "timeout_rate": timeout_rate,
+        "retry": retry,
+        **params,
+    }
+    if track_exposure:
+        cell_params["track_exposure"] = True
     return SweepCell(
         kind="faults",
         policy=policy,
@@ -111,14 +132,7 @@ def faults_cell(
         cache_pages=cache_pages,
         seed=seed,
         label=label,
-        params=tuple(
-            {
-                "ure_rate": ure_rate,
-                "timeout_rate": timeout_rate,
-                "retry": retry,
-                **params,
-            }.items()
-        ),
+        params=tuple(cell_params.items()),
     )
 
 

@@ -1,0 +1,106 @@
+"""Reliability-sweep cell executor and grid builder.
+
+This is harness code — it wires :mod:`repro.reliability` into the sweep
+engine (the layering contract, RPR102, keeps simulation packages from
+importing the harness).  One ``reliability`` cell is one operating point
+of the cleaner/scrubber/rebuild policy: the executor measures the
+vulnerability-window exposure from a real KDD run, derives the model
+rates, solves the analytic Markov chain, runs the seeded Monte-Carlo
+estimator over the measured stale-stripe distribution and reports both
+plus their agreement — one nested row per cell, in the shared JSON
+shapes (``exposure`` block, ``scrub`` block, model blocks).
+
+Determinism inherits from the sweep discipline twice over: the workload
+and cache are seeded with the cell's effective seed, and every
+Monte-Carlo trial owns a ``sha256``-derived stream — rows are
+byte-identical for any ``--jobs`` count.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..reliability.measure import ExposureRunConfig, run_reliability_point
+from .sweep import SweepCell
+
+#: ``SweepCell.params`` keys consumed by the model side of the executor
+#: (everything else feeds :class:`~repro.reliability.measure.ExposureRunConfig`).
+MODEL_KEYS = (
+    "iops",
+    "ndisks",
+    "disk_mttf_h",
+    "rebuild_h",
+    "rebuild_priority",
+    "horizon_h",
+    "trials",
+)
+
+#: The measurement knobs an :class:`ExposureRunConfig` accepts from a
+#: cell (``cache_pages`` and ``seed`` come from the cell itself).
+MEASURE_KEYS = (
+    "accesses",
+    "universe_pages",
+    "read_ratio",
+    "dirty_threshold",
+    "low_watermark",
+    "scrub_period",
+    "scrub_stripes",
+)
+
+
+def run_reliability_cell(cell: SweepCell) -> dict[str, Any]:
+    """Execute one reliability cell; returns its (deterministic) row."""
+    params = dict(cell.params)
+    model_kwargs = {k: params.pop(k) for k in MODEL_KEYS if k in params}
+    cfg = ExposureRunConfig(
+        cache_pages=cell.cache_pages,
+        seed=cell.effective_seed(),
+        **params,
+    )
+    report = run_reliability_point(cfg, model_seed=cell.effective_seed(),
+                                   **model_kwargs)
+    row: dict[str, Any] = {
+        "label": cell.label or "reliability",
+        "accesses": cfg.accesses,
+        "scrub_period": cfg.scrub_period,
+        "dirty_threshold": cfg.dirty_threshold,
+        "rebuild_priority": model_kwargs.get("rebuild_priority", 1.0),
+    }
+    row.update(report.row())
+    return row
+
+
+def reliability_cell(
+    cache_pages: int = 64,
+    scrub_period: int = 0,
+    dirty_threshold: float = 0.50,
+    low_watermark: float = 0.25,
+    rebuild_priority: float = 1.0,
+    seed: int | None = None,
+    label: str | None = None,
+    **params: Any,
+) -> SweepCell:
+    """Convenience constructor for a ``reliability`` sweep cell.
+
+    The three named knobs are the sweep axes of the reliability study —
+    scrub period, cleaner aggressiveness, rebuild priority; any other
+    :data:`MEASURE_KEYS` / :data:`MODEL_KEYS` key passes through
+    ``params``.  ``seed=None`` (the default) opts into hash-derived
+    per-cell seeding, the sweep engine's determinism discipline.
+    """
+    return SweepCell(
+        kind="reliability",
+        policy="kdd",
+        cache_pages=cache_pages,
+        seed=seed,
+        label=label,
+        params=tuple(
+            {
+                "scrub_period": scrub_period,
+                "dirty_threshold": dirty_threshold,
+                "low_watermark": low_watermark,
+                "rebuild_priority": rebuild_priority,
+                **params,
+            }.items()
+        ),
+    )

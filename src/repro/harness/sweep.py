@@ -46,7 +46,7 @@ ENGINE_VERSION = 1
 TRACE_KINDS = ("workload", "zipf", "uniform", "sequential")
 
 #: Cell kinds (see the ``_run_*_cell`` executors below).
-CELL_KINDS = ("sim", "replay", "fio", "stats", "faults")
+CELL_KINDS = ("sim", "replay", "fio", "stats", "faults", "reliability")
 
 #: ``params`` keys consumed by the replay executor (not CacheConfig fields).
 _REPLAY_KEYS = ("max_requests", "max_seconds", "time_scale")
@@ -296,12 +296,19 @@ def _run_faults_cell(cell: SweepCell) -> dict[str, Any]:
     return run_faults_cell(cell, _trace_for(cell.trace))
 
 
+def _run_reliability_cell(cell: SweepCell) -> dict[str, Any]:
+    from .relsweep import run_reliability_cell
+
+    return run_reliability_cell(cell)
+
+
 _CELL_RUNNERS: dict[str, Callable[[SweepCell], dict[str, Any]]] = {
     "sim": _run_sim_cell,
     "replay": _run_replay_cell,
     "fio": _run_fio_cell,
     "stats": _run_stats_cell,
     "faults": _run_faults_cell,
+    "reliability": _run_reliability_cell,
 }
 
 

@@ -1,0 +1,48 @@
+"""Stochastic reliability analysis of KDD's delayed-parity window.
+
+The paper argues (Section III-E) that delaying parity updates is safe
+because the cleaner bounds how long any stripe's parity stays stale.
+This package quantifies the residual risk and how the operational knobs
+move it:
+
+* :mod:`repro.reliability.measure` — run a real KDD stack (optionally
+  with a background scrubber) and measure the vulnerability-window
+  exposure, in the shared
+  :class:`~repro.stats.exposure.VulnerabilityExposure` shape;
+* :mod:`repro.reliability.mttdl` — the analytic four-state Markov chain
+  (healthy / vulnerable / degraded / data loss): exact MTTDL by linear
+  solve, robust to the chain's extreme stiffness;
+* :mod:`repro.reliability.montecarlo` — an independent seeded
+  Monte-Carlo estimator over the member-failure hazard, byte-identical
+  for any ``--jobs`` count, cross-checked against the Markov answer
+  within a stated tolerance.
+
+The sweep integration (``reliability`` cell kind, ``kdd-repro
+reliability``) lives in :mod:`repro.harness.relsweep` — the layering
+contract keeps simulation code from importing the harness.
+"""
+
+from __future__ import annotations
+
+from .measure import (
+    ExposureRunConfig,
+    ReliabilityReport,
+    derive_params,
+    measure_exposure,
+    run_reliability_point,
+)
+from .montecarlo import MonteCarloResult, monte_carlo_loss
+from .mttdl import MarkovResult, ReliabilityParams, markov_mttdl
+
+__all__ = [
+    "ExposureRunConfig",
+    "MarkovResult",
+    "MonteCarloResult",
+    "ReliabilityParams",
+    "ReliabilityReport",
+    "derive_params",
+    "markov_mttdl",
+    "measure_exposure",
+    "monte_carlo_loss",
+    "run_reliability_point",
+]

@@ -1,5 +1,6 @@
-"""Metrics: latency recorders and summaries."""
+"""Metrics: latency recorders, summaries, reliability exposure."""
 
+from .exposure import VulnerabilityExposure
 from .latency import LatencyRecorder, LatencySummary
 
-__all__ = ["LatencyRecorder", "LatencySummary"]
+__all__ = ["LatencyRecorder", "LatencySummary", "VulnerabilityExposure"]

@@ -1,0 +1,101 @@
+"""Vulnerability-window exposure: how long stale parity leaves data bare.
+
+KDD trades small-write cost for *delayed* parity: a stripe whose parity
+is stale cannot reconstruct a lost member page until the cleaner (or the
+scrubber) repairs it.  The reliability analysis therefore needs one
+number family, shared by every producer — the fault sweep, the scrubber
+report and the reliability cells all emit this dataclass, in the same
+units and the same JSON shape, so their outputs compose.
+
+Units: the observation span is measured in *accesses* (the trace-driven
+simulators have no wall clock); :meth:`VulnerabilityExposure.scaled`
+converts to hours given an IOPS figure when a rate-based model
+(:mod:`repro.reliability`) consumes the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class VulnerabilityExposure:
+    """Stale-parity exposure measured over one observed span."""
+
+    #: accesses observed
+    span: int
+    #: accesses during which >= 1 stripe had stale parity
+    stale_span: int
+    #: sum over accesses of the stale-stripe count (stripe-accesses)
+    stripe_span: int
+    #: peak simultaneous stale-stripe count
+    max_stale: int
+    #: completed vulnerability windows (stale -> all-clean transitions)
+    windows: int
+    #: total length of the completed windows, in accesses
+    window_total: int
+    #: length of the window still open when observation ended (0 if none)
+    open_window: int
+
+    @property
+    def exposure_fraction(self) -> float:
+        """Fraction of the span with at least one stale stripe."""
+        return self.stale_span / self.span if self.span else 0.0
+
+    @property
+    def mean_stale_stripes(self) -> float:
+        """Average number of simultaneously stale stripes."""
+        return self.stripe_span / self.span if self.span else 0.0
+
+    @property
+    def mean_window(self) -> float:
+        """Mean vulnerability-window length in accesses.
+
+        Falls back to the open window when no window ever closed (e.g.
+        scrubbing off and a lazy cleaner: the array is never all-clean).
+        """
+        if self.windows:
+            return self.window_total / self.windows
+        return float(self.open_window)
+
+    def row(self) -> dict[str, Any]:
+        """The shared JSON shape (``exposure`` block of every report)."""
+        return {
+            "span_accesses": self.span,
+            "stale_accesses": self.stale_span,
+            "stripe_accesses": self.stripe_span,
+            "exposure_fraction": round(self.exposure_fraction, 6),
+            "mean_stale_stripes": round(self.mean_stale_stripes, 4),
+            "max_stale_stripes": self.max_stale,
+            "windows": self.windows,
+            "mean_window_accesses": round(self.mean_window, 2),
+            "open_window_accesses": self.open_window,
+        }
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[int]) -> "VulnerabilityExposure":
+        """Build from one stale-stripe count per access, in order."""
+        span = stale = stripes = peak = 0
+        windows = window_total = run = 0
+        for count in samples:
+            span += 1
+            stripes += count
+            if count > peak:
+                peak = count
+            if count > 0:
+                stale += 1
+                run += 1
+            elif run:
+                windows += 1
+                window_total += run
+                run = 0
+        return cls(
+            span=span,
+            stale_span=stale,
+            stripe_span=stripes,
+            max_stale=peak,
+            windows=windows,
+            window_total=window_total,
+            open_window=run,
+        )

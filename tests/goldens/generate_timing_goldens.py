@@ -15,6 +15,14 @@ Usage::
 committed; ``post`` re-runs the same cells on the current tree and
 stores them alongside, so the test can assert byte-stability of the
 refactored engine *and* the exact relationship to the legacy numbers.
+
+``post`` was regenerated once more for the crash-consistency work: the
+KDD write-hit path now stages the superseding delta *before*
+invalidating its DEZ predecessor (a freed delta slot can otherwise be
+reused while the persisted mapping still points at it).  The later slot
+release shifts DEZ placement slightly; the only golden movement is one
+background metadata page commit in one closed-loop KDD cell (latency
+columns byte-identical).
 """
 
 from __future__ import annotations

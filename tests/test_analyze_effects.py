@@ -429,3 +429,161 @@ class TestRealTree:
         assert all(fp["extra"] == [] for fp in doc["fast_paths"])
         cached = doc["sweep"]["cached_functions"]
         assert cached and all(entry["allowlisted"] for entry in cached)
+
+
+# -- recovery read-surface (RPR207) ------------------------------------------
+
+#: Mini twin of the persistence stack: module paths and class names
+#: match the production RECOVERY_ROOTS / RECOVERY_SURFACE bindings, so
+#: the rule runs on the fixture tree exactly as on the real one.
+MINI_RECOVERY_STACK = {
+    "nvram/metabuffer.py": """\
+        class MetadataBuffer:
+            def __init__(self):
+                self._entries = {}
+                self._hot_index = {}
+
+            def snapshot(self):
+                return list(self._entries.values())
+    """,
+    "nvram/staging.py": """\
+        class StagingBuffer:
+            def __init__(self):
+                self._entries = {}
+                self._flushing = {}
+
+            def snapshot(self):
+                return list(self._flushing.values()) + \\
+                    list(self._entries.values())
+    """,
+    "cache/mlog.py": """\
+        from ..nvram.metabuffer import MetadataBuffer
+
+        class MetadataLog:
+            def __init__(self):
+                self.buffer = MetadataBuffer()
+                self.head = 0
+                self.tail = 0
+                self._page_image = {}
+                self._committing = []
+                self._relocating = []
+                self._shadow_map = {}
+
+            def replay(self):
+                out = {}
+                for seq in range(self.head, self.tail):
+                    for entry in self._page_image.get(seq, ()):
+                        out[entry] = entry
+                return out
+
+            def nvram_entries(self):
+                out = list(self._relocating)
+                for batch in self._committing:
+                    out.extend(batch)
+                out.extend(self.buffer.snapshot())
+                return out
+    """,
+    "core/recovery.py": """\
+        def recover_from_power_failure(kdd):
+            mapping = kdd.mlog.replay()
+            for entry in kdd.mlog.nvram_entries():
+                mapping[entry] = entry
+            for staged in kdd.staging.snapshot():
+                mapping[staged] = staged
+            return mapping
+    """,
+}
+
+
+def recovery_tree(**overrides):
+    files = dict(MINI_RECOVERY_STACK)
+    files.update(overrides)
+    return files
+
+
+class TestRecoverySurface:
+    def test_conforming_recovery_stack_is_clean(self, analyze_tree):
+        project = analyze_tree(recovery_tree())
+        assert check_effects(project) == []
+
+    def test_direct_read_outside_roots_is_rpr207(self, analyze_tree):
+        project = analyze_tree(recovery_tree(**{
+            "core/recovery.py": """\
+                def recover_from_power_failure(kdd):
+                    mapping = kdd.mlog.replay()
+                    for line in kdd.sets.all_lines():
+                        mapping[line] = line
+                    return mapping
+            """,
+        }))
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR207"]
+        assert "'sets'" in findings[0].message
+        assert "recover_from_power_failure()" in findings[0].message
+
+    def test_interprocedural_volatile_read_is_rpr207(self, analyze_tree):
+        # The entry point itself is conforming; the escape is one call
+        # deep, inside the surface class -- the closure must follow it.
+        mlog = MINI_RECOVERY_STACK["cache/mlog.py"].replace(
+            "out = {}", "out = dict(self._shadow_map)")
+        assert mlog != MINI_RECOVERY_STACK["cache/mlog.py"]
+        project = analyze_tree(recovery_tree(**{"cache/mlog.py": mlog}))
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR207"]
+        assert "MetadataLog._shadow_map" in findings[0].message
+        assert "MetadataLog.replay()" in findings[0].message
+
+    def test_two_level_closure_through_sub_object_is_rpr207(self, analyze_tree):
+        # recovery -> mlog.nvram_entries -> buffer.snapshot: a volatile
+        # read at the third hop must still surface.
+        buf = MINI_RECOVERY_STACK["nvram/metabuffer.py"].replace(
+            "return list(self._entries.values())",
+            "return list(self._hot_index) + list(self._entries.values())")
+        assert buf != MINI_RECOVERY_STACK["nvram/metabuffer.py"]
+        project = analyze_tree(recovery_tree(**{"nvram/metabuffer.py": buf}))
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR207"]
+        assert "MetadataBuffer._hot_index" in findings[0].message
+
+    def test_passing_crashed_object_onward_is_rpr207(self, analyze_tree):
+        project = analyze_tree(recovery_tree(**{
+            "core/recovery.py": """\
+                def _helper(kdd):
+                    return kdd
+
+                def recover_from_power_failure(kdd):
+                    mapping = kdd.mlog.replay()
+                    _helper(kdd)
+                    return mapping
+            """,
+        }))
+        findings = check_effects(project)
+        assert codes(findings) == ["RPR207"]
+        assert "passes the crashed object" in findings[0].message
+
+    def test_real_tree_entry_is_present_and_clean(self):
+        # Guard against the rule silently no-opping: the production
+        # entry point must exist under the exact id the rule binds to,
+        # and its read-closure must stay inside the declared surface.
+        from repro.devtools.analyze.effects import RECOVERY_ENTRY
+
+        project = Project.load([SRC_REPRO])
+        assert RECOVERY_ENTRY in project.functions
+        analysis = EffectAnalysis(project)
+        assert analysis.check_recovery_surface() == []
+
+    def test_shrunk_surface_fires_on_real_tree(self, monkeypatch):
+        # Acceptance proof on the production tree: hide one genuinely
+        # consulted attribute from the declared surface and the rule
+        # must fire at the real read site.
+        import repro.devtools.analyze.effects as effects_mod
+
+        shrunk = {
+            cls: attrs - {"buffer"}
+            for cls, attrs in effects_mod.RECOVERY_SURFACE.items()
+        }
+        monkeypatch.setattr(effects_mod, "RECOVERY_SURFACE", shrunk)
+        analysis = EffectAnalysis(Project.load([SRC_REPRO]))
+        findings = analysis.check_recovery_surface()
+        assert [f.code for f in findings] == ["RPR207"]
+        assert "MetadataLog.buffer" in findings[0].message

@@ -1,0 +1,212 @@
+"""Crash-consistency matrix: every persistence boundary, RPO=0.
+
+The harness (:mod:`repro.faults.crash`) enumerates every crash point
+the production code announces, recovers at each one and proves the
+recovered map equals the live map restricted to acknowledged writes.
+These tests pin the coverage contract from the outside:
+
+* the matrix's covered kind set equals :data:`CRASH_POINT_KINDS`
+  exactly — no registered kind goes unexercised;
+* the kind literals at the production call sites equal the registry —
+  a new ``shim.point`` call with a new kind fails here (and at runtime,
+  via the shim's own check) until the registry and matrix grow with it;
+* torn flash phases are synthesised and verified;
+* armed replays (real exception unwinding) agree with capture mode at
+  every boundary;
+* the verifier itself has teeth: a tampered crash image raises
+  :class:`RecoveryError` naming the boundary.
+
+The Hypothesis properties extend the fixed matrix to random workloads
+and random armed indices; under ``HYPOTHESIS_PROFILE=ci`` they run
+derandomized (see ``tests/conftest.py``).
+"""
+
+import json
+import re
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recovery import recover_from_power_failure
+from repro.errors import RecoveryError, SimulatedPowerFailure
+from repro.faults.crash import (
+    CRASH_POINT_KINDS,
+    FLASH_POINT_KINDS,
+    CrashBoundary,
+    CrashPointShim,
+    _build_kdd,
+    attach_crash_shim,
+    crash_workload,
+    detach_crash_shim,
+    run_crash_matrix,
+    snapshot_crash_image,
+    verify_crash_recovery,
+)
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One full matrix run: capture pass + one armed replay per boundary.
+
+    160 accesses against the deliberately tiny ``_build_kdd`` stack hit
+    staging flushes, DEZ commits, cleaning, forced cleaning and
+    metadata-log wraparound/GC — every registered kind.
+    """
+    return run_crash_matrix(accesses=160, seed=0, armed_stride=1)
+
+
+class TestMatrixCoverage:
+    def test_every_registered_kind_covered(self, report):
+        assert report.covered == set(CRASH_POINT_KINDS)
+
+    def test_torn_flash_phases_exercised(self, report):
+        assert report.torn_boundaries > 0
+        assert {"nvram", "before", "torn", "after"} <= set(report.phase_counts)
+
+    def test_armed_replay_fired_at_every_boundary(self, report):
+        assert report.boundaries > 0
+        assert report.armed_runs == report.boundaries
+
+    def test_row_is_json_friendly(self, report):
+        row = json.loads(json.dumps(report.row()))
+        assert row["boundaries"] == report.boundaries
+        assert set(row["kinds"]) == set(CRASH_POINT_KINDS)
+
+
+class TestRegistryIsClosed:
+    """A persistence step cannot escape coverage (both directions)."""
+
+    def _source_kinds(self, method: str) -> set[str]:
+        pattern = re.compile(r"\.shim\." + method + r"\(\s*\"(\w+)\"")
+        kinds: set[str] = set()
+        for path in sorted(SRC.rglob("*.py")):
+            kinds.update(pattern.findall(path.read_text(encoding="utf-8")))
+        return kinds
+
+    def test_call_site_literals_equal_the_registry(self):
+        points = self._source_kinds("point")
+        flash = self._source_kinds("flash_point")
+        assert flash == set(FLASH_POINT_KINDS)
+        assert points | flash == set(CRASH_POINT_KINDS)
+        assert not points & flash
+
+    def test_unregistered_kind_rejected_at_runtime(self):
+        shim = attach_crash_shim(_build_kdd(0))
+        with pytest.raises(RecoveryError, match="unregistered"):
+            shim.point("warp_core_dump")
+
+    def test_flash_point_requires_flash_registration(self):
+        kdd = _build_kdd(0)
+        shim = attach_crash_shim(kdd)
+        with pytest.raises(RecoveryError, match="not a registered flash point"):
+            shim.flash_point("meta_put", kdd.mlog, 0, ())
+
+    def test_txn_suppresses_nvram_points(self):
+        shim = attach_crash_shim(_build_kdd(0))
+        with shim.txn():
+            shim.point("meta_put", lba=1)
+        assert shim.index == 0 and not shim.boundaries
+
+    def test_flash_program_inside_txn_rejected(self):
+        kdd = _build_kdd(0)
+        shim = attach_crash_shim(kdd)
+        with shim.txn():
+            with pytest.raises(RecoveryError, match="inside an NVRAM"):
+                shim.flash_point("mlog_commit", kdd.mlog, 0, ())
+
+    def test_mode_validation(self):
+        kdd = _build_kdd(0)
+        with pytest.raises(RecoveryError):
+            CrashPointShim(kdd, mode="bogus")
+        with pytest.raises(RecoveryError):
+            CrashPointShim(kdd, mode="armed", arm_index=None)
+
+
+class TestVerifierTeeth:
+    """The RPO=0 proof is only as good as the verifier's failure mode."""
+
+    def _loaded(self, seed=1, accesses=80):
+        kdd = _build_kdd(seed)
+        for lba, is_read in crash_workload(accesses, seed):
+            kdd.access(lba, is_read)
+        return kdd
+
+    def test_quiescent_snapshot_recovers_cleanly(self):
+        kdd = self._loaded()
+        kdd.finish()
+        image = snapshot_crash_image(kdd)
+        boundary = CrashBoundary(0, "meta_put", "nvram", ())
+        verify_crash_recovery(kdd, image.recover(), None, boundary)
+
+    def test_tampered_image_raises_naming_the_boundary(self):
+        kdd = self._loaded()
+        image = snapshot_crash_image(kdd)
+        # Mid-workload there is always unflushed NVRAM state to lose.
+        assert image.metabuffer or image.committing or image.staging
+        tampered = replace(
+            image, metabuffer=(), committing=(), relocating=(), staging=()
+        )
+        boundary = CrashBoundary(7, "meta_put", "nvram", (("lba", 3),))
+        with pytest.raises(RecoveryError) as excinfo:
+            verify_crash_recovery(kdd, tampered.recover(), None, boundary)
+        assert "meta_put" in str(excinfo.value)
+
+
+class TestCrashProperties:
+    """Random workloads and random armed indices, derandomized in CI."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16 - 1), accesses=st.integers(24, 64))
+    def test_capture_proves_rpo0_on_random_workloads(self, seed, accesses):
+        workload = crash_workload(accesses, seed, universe=64)
+        kdd = _build_kdd(seed)
+        shim = attach_crash_shim(kdd, mode="capture")
+        for lba, is_read in workload:
+            shim.in_flight = lba
+            kdd.access(lba, is_read)  # raises RecoveryError on any RPO>0
+        shim.in_flight = None
+        kdd.finish()
+        detach_crash_shim(kdd)
+        kdd.check_invariants()
+        assert shim.index == len(shim.boundaries) > 0
+        assert {b.kind for b in shim.boundaries} <= set(CRASH_POINT_KINDS)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16 - 1), pick=st.integers(0, 2**31 - 1))
+    def test_armed_crash_at_random_boundary_recovers(self, seed, pick):
+        accesses = 40
+        workload = crash_workload(accesses, seed, universe=64)
+        # Capture pass: enumerate the boundary sequence for this seed.
+        probe = _build_kdd(seed)
+        shim = attach_crash_shim(probe, mode="capture")
+        for lba, is_read in workload:
+            shim.in_flight = lba
+            probe.access(lba, is_read)
+        shim.in_flight = None
+        probe.finish()
+        detach_crash_shim(probe)
+        arm = pick % shim.index
+        # Armed replay: crash there, recover from the unwound object.
+        kdd = _build_kdd(seed)
+        armed = attach_crash_shim(kdd, mode="armed", arm_index=arm)
+        with pytest.raises(SimulatedPowerFailure):
+            for lba, is_read in workload:
+                armed.in_flight = lba
+                kdd.access(lba, is_read)
+            armed.in_flight = None
+            kdd.finish()
+        assert armed.tripped is not None
+        assert armed.tripped.same_site(shim.boundaries[arm])
+        recovered = recover_from_power_failure(kdd)
+        verify_crash_recovery(
+            kdd,
+            recovered,
+            armed.tripped_in_flight,
+            armed.tripped,
+            expected=armed.expected,
+        )

@@ -22,6 +22,10 @@ each asserted here explicitly:
 Everything else — exact-policy latency summaries, fault event logs,
 counters, rebuild timing — must be byte-identical, and the current tree
 must reproduce the ``post`` stage exactly, single- or multi-process.
+
+(The ``post`` stage also carries the crash-safe DEZ supersede ordering
+— see tests/goldens/generate_timing_goldens.py — which moved one
+background metadata-write counter in one KDD cell.)
 """
 
 from __future__ import annotations

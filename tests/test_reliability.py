@@ -1,0 +1,257 @@
+"""Reliability subsystem: exposure stats, Markov MTTDL, Monte-Carlo.
+
+Three layers under test, plus the glue between them:
+
+* :class:`VulnerabilityExposure` — the shared measurement shape every
+  producer (fault sweep, scrubber, reliability cells) emits;
+* :func:`markov_mttdl` — the analytic chain, pinned against the
+  textbook RAID-5 closed form when the vulnerability rates vanish;
+* :func:`monte_carlo_loss` — the seeded quasi-static estimator, checked
+  for byte-level determinism and against analytic limits;
+* the ``reliability`` sweep cells — one grid where the Monte-Carlo and
+  Markov answers must agree within the stated tolerance, byte-identical
+  across ``--jobs``.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.scrubber import Scrubber
+from repro.harness.faultsweep import faults_cell
+from repro.harness.relsweep import reliability_cell, run_reliability_cell
+from repro.harness.sweep import SweepEngine, trace_desc
+from repro.raid.array import RAIDArray, RaidLevel
+from repro.reliability import (
+    ExposureRunConfig,
+    ReliabilityParams,
+    markov_mttdl,
+    monte_carlo_loss,
+    run_reliability_point,
+)
+from repro.stats.exposure import VulnerabilityExposure
+
+#: The one canonical JSON shape of an ``exposure`` block (satellite
+#: contract: every producer emits exactly these keys).
+EXPOSURE_KEYS = set(VulnerabilityExposure.from_samples([]).row())
+
+
+def typical_params(**overrides):
+    kw = dict(
+        ndisks=5,
+        disk_mttf_h=5.0e4,
+        rebuild_h=240.0,
+        rebuild_priority=1.0,
+        vuln_entry_per_h=40.0,
+        vuln_clear_per_h=3600.0,
+        horizon_h=5.0e3,
+    )
+    kw.update(overrides)
+    return ReliabilityParams(**kw)
+
+
+class TestVulnerabilityExposure:
+    def test_from_samples_window_math(self):
+        exp = VulnerabilityExposure.from_samples([0, 1, 2, 0, 0, 3, 0, 1])
+        assert exp.span == 8
+        assert exp.stale_span == 4
+        assert exp.stripe_span == 7
+        assert exp.max_stale == 3
+        assert exp.windows == 2 and exp.window_total == 3
+        assert exp.open_window == 1
+        assert exp.exposure_fraction == 0.5
+        assert exp.mean_stale_stripes == 7 / 8
+        assert exp.mean_window == 1.5
+
+    def test_empty_samples_degenerate_cleanly(self):
+        exp = VulnerabilityExposure.from_samples([])
+        assert exp.span == 0
+        assert exp.exposure_fraction == 0.0
+        assert exp.mean_stale_stripes == 0.0
+        assert exp.mean_window == 0.0
+
+    def test_never_clean_falls_back_to_open_window(self):
+        exp = VulnerabilityExposure.from_samples([1, 2, 1])
+        assert exp.windows == 0 and exp.open_window == 3
+        assert exp.mean_window == 3.0
+
+    def test_row_shape_is_stable(self):
+        row = VulnerabilityExposure.from_samples([0, 1, 0]).row()
+        assert set(row) == EXPOSURE_KEYS
+        json.dumps(row)  # JSON-serialisable throughout
+
+
+class TestMarkov:
+    def test_zero_vulnerability_degenerates_to_textbook_raid5(self):
+        p = typical_params(vuln_entry_per_h=0.0, vuln_clear_per_h=0.0)
+        n, lam, mu = p.ndisks, p.lam, p.mu
+        textbook = (mu + (2 * n - 1) * lam) / (n * (n - 1) * lam**2)
+        assert math.isclose(markov_mttdl(p).mttdl_h, textbook, rel_tol=1e-9)
+
+    def test_vulnerability_strictly_shortens_mttdl(self):
+        clean = typical_params(vuln_entry_per_h=0.0, vuln_clear_per_h=0.0)
+        exposed = typical_params()
+        assert markov_mttdl(exposed).mttdl_h < markov_mttdl(clean).mttdl_h
+
+    def test_faster_rebuild_lengthens_mttdl(self):
+        slow = markov_mttdl(typical_params(rebuild_priority=0.5))
+        fast = markov_mttdl(typical_params(rebuild_priority=2.0))
+        assert fast.mttdl_h > slow.mttdl_h
+
+    def test_p_loss_is_a_probability(self):
+        result = markov_mttdl(typical_params())
+        assert 0.0 < result.p_loss < 1.0
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigError):
+            typical_params(ndisks=1)
+        with pytest.raises(ConfigError):
+            typical_params(disk_mttf_h=0.0)
+        with pytest.raises(ConfigError):
+            typical_params(vuln_entry_per_h=-1.0)
+
+
+class TestMonteCarlo:
+    def test_same_seed_same_result(self):
+        p = typical_params()
+        a = monte_carlo_loss(p, trials=400, seed=7)
+        b = monte_carlo_loss(p, trials=400, seed=7)
+        assert a == b  # frozen dataclass: full field-wise equality
+
+    def test_chunked_trials_concatenate(self):
+        # The per-trial sha256 streams make the estimate independent of
+        # how trials are batched — the property --jobs determinism
+        # rests on.  Trial i draws the same stream in any run.
+        p = typical_params()
+        whole = monte_carlo_loss(p, trials=300, seed=5)
+        again = monte_carlo_loss(p, trials=300, seed=5)
+        assert whole.row() == again.row()
+
+    def test_always_vulnerable_matches_first_failure_law(self):
+        # With every sampled state stale, loss == "first member failure
+        # inside the horizon": p = 1 - exp(-n*lam*T), severity = count.
+        p = typical_params()
+        result = monte_carlo_loss(p, trials=2000, seed=1,
+                                  stale_samples=[3] * 16)
+        analytic = 1.0 - math.exp(-p.ndisks * p.lam * p.horizon_h)
+        assert result.rebuild_losses == 0
+        assert result.vulnerable_losses == result.losses
+        assert result.mean_stripes_lost == 3.0
+        assert abs(result.p_loss - analytic) <= 4 * result.p_loss_sigma + 0.01
+
+    def test_never_vulnerable_loses_only_through_rebuild_races(self):
+        p = typical_params()
+        result = monte_carlo_loss(p, trials=500, seed=2,
+                                  stale_samples=[0] * 16)
+        assert result.vulnerable_losses == 0
+        assert result.losses == result.rebuild_losses
+
+    def test_validation(self):
+        p = typical_params()
+        with pytest.raises(ConfigError):
+            monte_carlo_loss(p, trials=0)
+        with pytest.raises(ConfigError):
+            monte_carlo_loss(p, trials=10, stale_samples=[])
+
+
+class TestCrossCheck:
+    def test_measured_point_agrees_with_markov(self):
+        cfg = ExposureRunConfig(accesses=800, universe_pages=128,
+                                cache_pages=64, seed=3)
+        report = run_reliability_point(cfg, trials=1500, model_seed=1)
+        row = report.row()
+        assert report.agrees is True
+        assert row["p_loss_delta"] <= row["tolerance"]
+        assert set(row["exposure"]) == EXPOSURE_KEYS
+
+    def test_scrubbing_reduces_measured_exposure(self):
+        base = ExposureRunConfig(accesses=800, universe_pages=128,
+                                 cache_pages=64, seed=3)
+        scrubbed = ExposureRunConfig(accesses=800, universe_pages=128,
+                                     cache_pages=64, seed=3,
+                                     scrub_period=25, scrub_stripes=4)
+        lazy = run_reliability_point(base, trials=200)
+        tight = run_reliability_point(scrubbed, trials=200)
+        assert tight.exposure.mean_stale_stripes < lazy.exposure.mean_stale_stripes
+        assert tight.markov.mttdl_h > lazy.markov.mttdl_h
+
+
+class TestReliabilitySweep:
+    def _cells(self):
+        return [
+            reliability_cell(scrub_period=period, dirty_threshold=dirty,
+                             low_watermark=dirty / 2.0, accesses=400,
+                             universe_pages=128, trials=600,
+                             label=f"scrub={period} dirty={dirty}")
+            for period in (0, 20) for dirty in (0.35, 0.75)
+        ]
+
+    def test_rows_byte_identical_across_jobs(self):
+        cells = self._cells()
+        serial = SweepEngine(jobs=1).run(cells)
+        parallel = SweepEngine(jobs=2).run(cells)
+        assert json.dumps(serial.rows, sort_keys=True) == \
+            json.dumps(parallel.rows, sort_keys=True)
+
+    def test_every_grid_point_cross_checks(self):
+        rows = SweepEngine(jobs=1).run(self._cells()).rows
+        assert len(rows) == 4
+        for row in rows:
+            assert row["agrees"] is True, row["label"]
+            assert row["p_loss_delta"] <= row["tolerance"]
+
+    def test_cell_runner_matches_direct_pipeline(self):
+        cell = self._cells()[0]
+        row = run_reliability_cell(cell)
+        cfg = ExposureRunConfig(
+            accesses=400, universe_pages=128, cache_pages=64,
+            seed=cell.effective_seed(), dirty_threshold=0.35,
+            low_watermark=0.175,
+        )
+        direct = run_reliability_point(cfg, trials=600,
+                                       model_seed=cell.effective_seed())
+        assert row["monte_carlo"] == direct.row()["monte_carlo"]
+        assert row["markov"] == direct.row()["markov"]
+
+
+class TestSharedExposureShape:
+    """Satellite contract: one dataclass, one JSON block, everywhere."""
+
+    def test_faults_cell_emits_the_shared_block(self):
+        trace = trace_desc("uniform", n_requests=200, universe_pages=2048,
+                           read_ratio=0.6, seed=0, name="t")
+        cell = faults_cell("kdd", trace, 128, ure_rate=0.01,
+                           timeout_rate=0.01, track_exposure=True)
+        rows = SweepEngine(jobs=1).run([cell]).rows
+        assert set(rows[0]["exposure"]) == EXPOSURE_KEYS
+
+    def test_track_exposure_off_preserves_cell_identity(self):
+        trace = trace_desc("uniform", n_requests=200, universe_pages=2048,
+                           read_ratio=0.6, seed=0, name="t")
+        plain = faults_cell("kdd", trace, 128, ure_rate=0.01)
+        tracked = faults_cell("kdd", trace, 128, ure_rate=0.01,
+                              track_exposure=True)
+        # Off => the key never enters the config, so pre-existing cell
+        # hashes (and their hash-derived seeds) are untouched.
+        assert "track_exposure" not in dict(plain.params)
+        assert plain.config_hash() != tracked.config_hash()
+        rows = SweepEngine(jobs=1).run([plain]).rows
+        assert "exposure" not in rows[0]
+
+    def test_scrubber_reports_the_shared_block(self):
+        raid = RAIDArray(RaidLevel.RAID5, ndisks=5, chunk_pages=2,
+                         pages_per_disk=16, store_data=True, page_size=16)
+        for lpage in range(raid.capacity_pages):
+            raid.write(lpage, data=[bytes([lpage % 251]) * 16])
+        raid.write_without_parity_update(0, data=b"\xab" * 16)
+        scrub = Scrubber(raid)
+        scrub.step(scrub.total_stripes)
+        exp = scrub.exposure
+        assert set(exp.row()) == EXPOSURE_KEYS
+        assert exp.span == scrub.total_stripes
+        assert exp.max_stale == 1 and exp.stripe_span == 1
+        # The scrubber saw the stale stripe, repaired it, and the window
+        # closed on the next (clean) visit.
+        assert exp.windows == 1 and exp.open_window == 0
