@@ -7,8 +7,9 @@ from .admission import (
     LarcAdmission,
     make_admission,
 )
-from .base import CacheConfig, CachePolicy, Outcome, TrafficCounters
+from .base import CacheConfig, CachePolicy, Outcome, TrafficCounters, drive_stream
 from .common import SetAssocPolicy
+from .partition import PartitionedCache, PartitionPlan, ReallocationStats
 from .dedup import ContentModel, DedupWriteThrough
 from .leavo import LeavO
 from .mlog import MetadataLog
@@ -34,6 +35,10 @@ __all__ = [
     "CacheLine",
     "CacheSets",
     "MetadataLog",
+    "PartitionPlan",
+    "PartitionedCache",
+    "ReallocationStats",
+    "drive_stream",
     "SetAssocPolicy",
     "Nossd",
     "WriteThrough",

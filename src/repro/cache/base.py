@@ -235,9 +235,8 @@ class CachePolicy(ABC):
         back to the scalar per-access loop automatically.
         """
         if not (vectorized and self._process_columnar(trace)):
-            for req in trace:
-                for lba in req.pages():
-                    self.access(lba, req.is_read)
+            pages, is_read = trace.page_accesses()
+            drive_stream(self, pages.tolist(), is_read.tolist())
         self.finish()
         return self.stats
 
@@ -249,3 +248,16 @@ class CachePolicy(ABC):
 
     def check_invariants(self) -> None:
         """Subclasses extend with their own structural checks."""
+
+
+def drive_stream(policy: CachePolicy, lbas, is_read) -> None:
+    """Feed a page-access stream through a policy's scalar state machine.
+
+    ``process_trace`` is a thin adapter over this driver, and the
+    multi-tenant serve driver (``repro.serve``) calls it per tenant
+    segment — both shapes share the exact per-access semantics.  The
+    inputs are parallel iterables of page LBAs and read flags.
+    """
+    access = policy.access
+    for lba, read in zip(lbas, is_read):
+        access(lba, read)

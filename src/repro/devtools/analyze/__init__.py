@@ -16,6 +16,7 @@ RPR107     reachable taxonomy raise missing from a declared contract
 RPR108     raising public sim/engine/faults entry point lacks contract
 RPR109     imported name never used
 RPR110     dead public symbol (opt-in, ``--dead-code``)
+RPR111     serve-layer RNG stream seed is not sha256-derived
 RPR201     membership state written outside a choke point
 RPR202     ``@mutates_membership`` method never bumps the epoch
 RPR203     batch reader may write membership state

@@ -87,10 +87,11 @@ SWEEP_ENTRY_POINTS = (
     ("repro.harness.sweep", (
         "_execute_cell", "_run_sim_cell", "_run_replay_cell",
         "_run_fio_cell", "_run_stats_cell", "_run_faults_cell",
-        "_run_reliability_cell",
+        "_run_reliability_cell", "_run_serve_cell",
     )),
     ("repro.harness.faultsweep", ("run_faults_cell", "demo_op_trace")),
     ("repro.harness.relsweep", ("run_reliability_cell",)),
+    ("repro.harness.servesweep", ("run_serve_cell",)),
 )
 #: Engine hooks run inside worker cells too (fault pipelines,
 #: instrumentation); every method of every subclass is an entry point.

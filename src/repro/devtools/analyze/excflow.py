@@ -44,7 +44,7 @@ AMBIENT = f"{ERRORS_MODULE}:ConfigError"
 RAISES_DECORATOR = f"{ERRORS_MODULE}:raises"
 
 #: Top-level packages whose public functions are checked entry points.
-ENTRY_PACKAGES = frozenset({"sim", "engine", "faults"})
+ENTRY_PACKAGES = frozenset({"sim", "engine", "faults", "serve"})
 
 _MAX_ITERATIONS = 50
 

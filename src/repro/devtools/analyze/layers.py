@@ -7,7 +7,7 @@ layer or any layer *below* it, never above:
 foundation     ``errors``, ``units``, ``contracts``
 data           ``traces``, ``delta``, ``stats``
 devices        ``disk``, ``flash``, ``nvram``, ``raid``, ``cache``, ``core``
-simulation     ``sim``, ``engine``, ``faults``, ``reliability``
+simulation     ``sim``, ``engine``, ``faults``, ``reliability``, ``serve``
 application    ``harness``, ``devtools``, the root ``repro`` module
 =============  ==========================================================
 
@@ -55,7 +55,7 @@ DEFAULT_LAYERS = LayerSpec(layers=(
     ("foundation", ("errors", "units", "contracts")),
     ("data", ("traces", "delta", "stats")),
     ("devices", ("disk", "flash", "nvram", "raid", "cache", "core")),
-    ("simulation", ("sim", "engine", "faults", "reliability")),
+    ("simulation", ("sim", "engine", "faults", "reliability", "serve")),
     ("application", ("harness", "devtools", "")),
 ))
 

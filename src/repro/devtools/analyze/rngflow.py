@@ -1,4 +1,4 @@
-"""RNG-stream provenance (RPR105, RPR106).
+"""RNG-stream provenance (RPR105, RPR106, RPR111).
 
 Determinism rests on RNG *ownership*: every ``numpy.random.Generator``
 is constructed from a derived seed for exactly one device (or one
@@ -23,6 +23,14 @@ This analysis tracks stream values intraprocedurally:
 * Constructing a stream at module scope (RPR106) is always wrong: a
   module-global generator outlives every device and sweep cell, so its
   consumption order depends on import and scheduling history.
+* In the serving layer (RPR111) stream *birth* has an extra obligation:
+  the seed expression must be sha256-derived.  Tenant substreams are
+  only independent, order-free, and replayable because every one is
+  keyed off the composer seed through a cryptographic hash
+  (``substream_seed``); a serve-layer ``default_rng(seed)`` whose seed
+  does not flow through ``hashlib.sha256`` — directly, via a project
+  function that transitively hashes, or via a local name assigned from
+  one — couples streams through accidental seed collisions.
 """
 
 from __future__ import annotations
@@ -37,6 +45,10 @@ RNG_CTORS = frozenset({
     "default_rng", "Generator", "PCG64", "PCG64DXSM", "Philox", "SFC64",
     "MT19937", "RandomState",
 })
+
+#: Top-level packages whose RNG streams must be seeded from a
+#: sha256-derived substream (RPR111).
+HASHED_SEED_PACKAGES = frozenset({"serve"})
 
 
 def _is_numpy_rng_call(mod: ModuleInfo, call: ast.Call) -> bool:
@@ -62,6 +74,23 @@ def _is_numpy_rng_call(mod: ModuleInfo, call: ast.Call) -> bool:
     return False
 
 
+def _is_sha256_call(mod: ModuleInfo, call: ast.Call) -> bool:
+    """True for ``hashlib.sha256(...)``-shaped constructions."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        binding = mod.bindings.get(func.id)
+        return (
+            func.id == "sha256"
+            and binding is not None
+            and binding.module == "hashlib"
+        )
+    if isinstance(func, ast.Attribute) and func.attr == "sha256" \
+            and isinstance(func.value, ast.Name):
+        binding = mod.bindings.get(func.value.id)
+        return binding is not None and binding.module == "hashlib"
+    return False
+
+
 class _Summaries:
     """Project-level facts the per-function walk consumes."""
 
@@ -73,6 +102,8 @@ class _Summaries:
         self.stream_returns: set[str] = set()
         #: function id -> parameter names it retains (stores durably).
         self.retained_params: dict[str, set[str]] = {}
+        #: function ids whose body (transitively) calls hashlib.sha256.
+        self.hashing_funcs: set[str] = set()
         self._build()
 
     def _build(self) -> None:
@@ -134,6 +165,39 @@ class _Summaries:
                             retained.add(node.value.id)
             if retained:
                 self.retained_params[func.id] = retained
+
+        # Pass 4: sha256-deriving functions, to a fixed point (a
+        # function that calls a hashing function hashes too).
+        changed = True
+        while changed:
+            changed = False
+            for func in self.project.functions.values():
+                if func.id in self.hashing_funcs:
+                    continue
+                mod = self.project.modules[func.module]
+                for node in ast.walk(func.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if _is_sha256_call(mod, node) or self.resolve_call(
+                            mod, func, node) in self.hashing_funcs:
+                        self.hashing_funcs.add(func.id)
+                        changed = True
+                        break
+
+    def resolve_call(
+        self, mod: ModuleInfo, func: FuncInfo, call: ast.Call
+    ) -> str | None:
+        """Resolve a call to a function id, including ``self.m()``."""
+        target = self.project.resolve_func_expr(mod, call.func)
+        if target is not None:
+            return target
+        f = call.func
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name) \
+                and f.value.id == "self" and func.class_name:
+            method = self.project.find_method(
+                f"{func.module}:{func.class_name}", f.attr)
+            return method.id if method is not None else None
+        return None
 
     def retains(self, func_id: str, arg_index: int, keyword: str | None,
                 has_self: bool) -> bool:
@@ -256,14 +320,76 @@ class RngFlow:
                 "own a distinct seeded stream — construct one per owner",
             ))
 
+    # -- serve-layer seed provenance (RPR111) --------------------------------
+
+    def _expr_hashed(
+        self, mod: ModuleInfo, func: FuncInfo, expr: ast.expr,
+        tainted: set[str],
+    ) -> bool:
+        """True when a sha256 derivation reaches ``expr``."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                if _is_sha256_call(mod, node):
+                    return True
+                callee = self.summaries.resolve_call(mod, func, node)
+                if callee is not None and \
+                        callee in self.summaries.hashing_funcs:
+                    return True
+            elif isinstance(node, ast.Name) and node.id in tainted:
+                return True
+        return False
+
+    def _check_seed_provenance(self, func: FuncInfo) -> None:
+        mod = self.project.modules[func.module]
+        if mod.top_package not in HASHED_SEED_PACKAGES:
+            return
+        # Intraprocedural name taint: locals assigned from a hashed
+        # expression carry the derivation, to a fixed point (assignment
+        # chains need not appear in source order under ast.walk).
+        tainted: set[str] = set()
+        assigns = [n for n in ast.walk(func.node)
+                   if isinstance(n, ast.Assign)]
+        changed = True
+        while changed:
+            changed = False
+            for node in assigns:
+                if not self._expr_hashed(mod, func, node.value, tainted):
+                    continue
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id not in tainted:
+                        tainted.add(tgt.id)
+                        changed = True
+        for node in ast.walk(func.node):
+            if not (isinstance(node, ast.Call)
+                    and _is_numpy_rng_call(mod, node)):
+                continue
+            seed: ast.expr | None = node.args[0] if node.args else None
+            if seed is None:
+                for kw in node.keywords:
+                    if kw.arg == "seed":
+                        seed = kw.value
+            if seed is not None and \
+                    self._expr_hashed(mod, func, seed, tainted):
+                continue
+            self.findings.append(finding_at(
+                mod, node.lineno, node.col_offset, "RPR111",
+                f"serve-layer RNG stream in {func.qualname}() is not "
+                "seeded from a sha256-derived substream; derive the seed "
+                "through substream_seed() (or another hashlib.sha256 "
+                "derivation) so tenant streams stay independent and "
+                "replayable",
+            ))
+
     def run(self) -> list[Finding]:
         for mod in self.project.modules.values():
             self._check_module_scope(mod)
         for func in self.project.functions.values():
             self._check_function(func)
+            self._check_seed_provenance(func)
         return sorted(self.findings, key=Finding.sort_key)
 
 
 def check_rng_provenance(project: Project) -> list[Finding]:
-    """RPR105/RPR106: stream sharing and module-global streams."""
+    """RPR105/RPR106/RPR111: stream sharing, module-global streams,
+    and serve-layer sha256 seed provenance."""
     return RngFlow(project).run()

@@ -31,7 +31,7 @@ from ...errors import ConfigError
 #: Module directories (relative to the ``repro`` package root) that
 #: hold *simulation* code, where wall-clock time is banned outright.
 SIM_DIRS = ("sim", "cache", "raid", "core", "flash", "delta", "nvram", "faults",
-            "engine")
+            "engine", "serve")
 
 #: Directories where exact float comparison is flagged (RPR005).
 FLOAT_EQ_DIRS = ("stats", "sim", "engine")

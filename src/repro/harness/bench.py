@@ -385,6 +385,104 @@ def _bench_reliability() -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Serving bench — composition throughput + the partitioned pipeline
+# ---------------------------------------------------------------------------
+
+#: Pinned composition-scaling shape: a 1M-request stream over a
+#: 1000-tenant fleet, metrics-only (the acceptance scale for O(1)
+#: online-metric state).
+_SERVE_COMPOSE = dict(tenants=1000, max_requests=1_000_000,
+                      universe_pages=512, base_iops=2.0,
+                      diurnal_amplitude=0.8, diurnal_period_s=3600.0)
+
+#: Pinned full-pipeline shape (static + dynamic partitioning).
+_SERVE_DRIVE = dict(n_tenants=32, cache_pages=2048, universe_pages=1024,
+                    base_iops=50.0, diurnal_amplitude=0.9,
+                    diurnal_period_s=600.0, max_requests=100_000,
+                    realloc_period=4000, min_fraction=0.01, ways=16)
+
+
+def _bench_serve() -> dict[str, Any]:
+    """Multi-tenant serving throughput, checksummed deterministic rows.
+
+    Two timed regions: *compose* — the workload multiplexer alone,
+    feeding the streaming metrics (composed requests and tenant-epochs
+    per wall-second, with the frozen online-metric byte budget asserted
+    over the full 1M-request / 1000-tenant stream) — and *drive* — the
+    full partitioned-cache pipeline through the serve sweep executor,
+    once static and once dynamic.  The checksum covers the
+    deterministic result rows only, never the timings; like the
+    reliability bench there is no ``speedup`` key, so the ratio gate
+    does not apply.
+    """
+    from ..serve.composer import WorkloadComposer
+    from ..serve.driver import ServeMetrics
+    from ..serve.tenants import make_tenant_fleet
+    from .servesweep import run_serve_cell, serve_cell
+
+    shape = dict(_SERVE_COMPOSE)
+    n_tenants = shape.pop("tenants")
+    max_requests = shape.pop("max_requests")
+    fleet = make_tenant_fleet(n_tenants, **shape)
+    composer = WorkloadComposer(fleet, seed=0, epoch_s=60.0)
+    metrics = ServeMetrics(n_tenants, window_s=60.0)
+    requests = 0
+    epochs = 0
+    start = time.perf_counter()
+    for batch in composer.compose(max_requests=max_requests):
+        metrics.observe_batch(batch)
+        requests += len(batch)
+        epochs += 1
+    compose_wall = time.perf_counter() - start
+    metrics.assert_bounded()
+    floor = 1e-9
+    rows: list[dict[str, Any]] = [metrics.summary()]
+
+    drive_shape = dict(_SERVE_DRIVE)
+    drive_rows = []
+    drive_wall = 0.0
+    for dynamic in (False, True):
+        cell = serve_cell(
+            policy="wt",
+            dynamic=dynamic,
+            seed=0,
+            label="dynamic" if dynamic else "static",
+            **drive_shape,
+        )
+        start = time.perf_counter()
+        drive_rows.append(run_serve_cell(cell))
+        drive_wall += time.perf_counter() - start
+    rows.extend(drive_rows)
+    drive_requests = sum(row["requests"] for row in drive_rows)
+    return {
+        "figure": "serve",
+        "kind": "serve",
+        "compose": {
+            "tenants": n_tenants,
+            "requests": requests,
+            "epochs": epochs,
+            "wall_s": round(compose_wall, 4),
+            "requests_per_s": round(requests / max(compose_wall, floor)),
+            "tenants_per_s": round(
+                n_tenants * epochs / max(compose_wall, floor)
+            ),
+            "peak_metric_state_bytes": metrics.state_bytes(),
+        },
+        "drive": {
+            "cells": len(drive_rows),
+            "tenants": drive_shape["n_tenants"],
+            "requests": drive_requests,
+            "wall_s": round(drive_wall, 4),
+            "requests_per_s": round(drive_requests / max(drive_wall, floor)),
+        },
+        "dynamic_hit_gain": round(
+            drive_rows[1]["hit_ratio"] - drive_rows[0]["hit_ratio"], 4
+        ),
+        "row_checksum": _checksum(rows),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Per-figure entry points
 # ---------------------------------------------------------------------------
 
@@ -396,6 +494,8 @@ def bench_figure(fig: str, scale: float = BENCH_SCALE) -> dict[str, Any]:
         return report
     if fig == "reliability":
         return _bench_reliability()
+    if fig == "serve":
+        return _bench_serve()
     if fig not in _FIG_GRIDS:
         raise ConfigError(
             f"unknown bench figure {fig!r}; choose from {sorted(BENCH_FIGURES)}"
@@ -407,7 +507,7 @@ def bench_figure(fig: str, scale: float = BENCH_SCALE) -> dict[str, Any]:
 
 
 BENCH_FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                 "reliability")
+                 "reliability", "serve")
 
 
 # ---------------------------------------------------------------------------
@@ -530,6 +630,16 @@ def _summary_line(report: dict[str, Any]) -> str:
         eng = report["engine"]
         return (f"{fig}: engine {eng['events']} events in "
                 f"{eng['wall_s']:.2f}s ({eng['events_per_s']:,} events/s)")
+    if report["kind"] == "serve":
+        comp, drive = report["compose"], report["drive"]
+        return (f"{fig}: composed {comp['requests']:,} requests over "
+                f"{comp['tenants']} tenants in {comp['wall_s']:.2f}s "
+                f"({comp['requests_per_s']:,} req/s, "
+                f"{comp['tenants_per_s']:,} tenant-epochs/s, "
+                f"{comp['peak_metric_state_bytes']:,} metric bytes); "
+                f"drive {drive['requests']:,} requests in "
+                f"{drive['wall_s']:.2f}s ({drive['requests_per_s']:,} req/s); "
+                f"dynamic hit gain {report['dynamic_hit_gain']:+.4f}")
     if report["kind"] == "robustness":
         cm, mc = report["crash_matrix"], report["monte_carlo"]
         verdict = "agrees" if report["cross_check"]["agrees"] else "DISAGREES"

@@ -169,6 +169,75 @@ def main(argv: list[str] | None = None) -> int:
         "markov / monte_carlo blocks per cell) as JSON",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant serving sweep: compose N tenant streams onto one "
+        "array and compare static vs dynamic per-tenant cache partitioning "
+        "(deterministic for any --jobs)",
+    )
+    serve.add_argument("--policy", default="wt",
+                       help="cache policy per tenant (default %(default)s; "
+                       "dynamic partitioning needs a clean-line policy)")
+    serve.add_argument("--tenants", type=int, default=8,
+                       help="tenant streams in the fleet (default %(default)s)")
+    serve.add_argument("--cache-pages", type=int, default=2048,
+                       help="total SSD cache pages split across tenants "
+                       "(default %(default)s)")
+    serve.add_argument("--universe-pages", type=int, default=2048,
+                       help="per-tenant address-space size in pages "
+                       "(default %(default)s)")
+    serve.add_argument("--base-iops", type=float, default=50.0,
+                       help="per-tenant mean request rate (default %(default)s)")
+    serve.add_argument("--duration", type=float, default=1200.0,
+                       help="composed-workload duration in seconds "
+                       "(default %(default)s)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="optional hard cap on composed requests")
+    serve.add_argument("--epoch", type=float, default=60.0,
+                       help="composition epoch in seconds (default %(default)s)")
+    serve.add_argument("--diurnal-amplitude", type=float, default=0.9,
+                       help="diurnal intensity swing in [0,1); phases are "
+                       "spread over the fleet so the hot set rotates "
+                       "(default %(default)s)")
+    serve.add_argument("--diurnal-period", type=float, default=1200.0,
+                       help="diurnal period in seconds (default %(default)s)")
+    serve.add_argument("--burst-prob", type=float, default=0.0,
+                       help="per-epoch burst probability (default %(default)s)")
+    serve.add_argument("--burst-factor", type=float, default=4.0,
+                       help="rate multiplier in burst epochs (default %(default)s)")
+    serve.add_argument("--plans", default="static,dynamic",
+                       help="comma-separated partition plans to compare "
+                       "(default %(default)s)")
+    serve.add_argument("--realloc-period", type=int, default=2000,
+                       help="accesses between dynamic reallocation passes "
+                       "(default %(default)s)")
+    serve.add_argument("--min-fraction", type=float, default=0.05,
+                       help="per-tenant quota floor as a cache fraction "
+                       "(default %(default)s)")
+    serve.add_argument("--ewma-alpha", type=float, default=0.5,
+                       help="hit-density EWMA smoothing (default %(default)s)")
+    serve.add_argument("--ways", type=int, default=16,
+                       help="cache associativity per tenant directory "
+                       "(default %(default)s)")
+    serve.add_argument("--flash", action="store_true",
+                       help="attach a per-tenant FTL-backed flash model "
+                       "(slower; adds per-tenant WAF columns)")
+    serve.add_argument("--per-tenant", action="store_true",
+                       help="also print the per-tenant fairness/endurance table")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="composer seed, shared by every plan so static "
+                       "and dynamic see the identical composed workload "
+                       "(default %(default)s)")
+    serve.add_argument("--jobs", "-j", type=int, default=1)
+    serve.add_argument("--cache-dir", default=os.environ.get("REPRO_SWEEP_CACHE"))
+    serve.add_argument("--force", action="store_true")
+    serve.add_argument("--progress", action="store_true")
+    serve.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the full report (aggregate + per-tenant rows per plan) "
+        "as JSON",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="run the scalar-vs-vectorized performance benches and track "
@@ -243,6 +312,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "reliability":
         return _reliability_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     names = list(ALL_FIGURES) if "all" in args.figures else args.figures
     unknown = [n for n in names if n not in ALL_FIGURES]
@@ -441,6 +513,72 @@ def _reliability_command(args) -> int:
         print("Monte-Carlo / Markov cross-check FAILED for: "
               + ", ".join(disagree), file=sys.stderr)
         return 1
+    return 0
+
+
+def _serve_command(args) -> int:
+    import json
+
+    from .report import render_table
+    from .servesweep import serve_cell
+
+    plans = [p.strip() for p in args.plans.split(",") if p.strip()]
+    unknown = [p for p in plans if p not in ("static", "dynamic")]
+    if unknown:
+        raise SystemExit(f"unknown plans {unknown}; choose from "
+                         "['static', 'dynamic']")
+    want_tenants = args.per_tenant or bool(args.report_out)
+    cells = [
+        serve_cell(
+            policy=args.policy,
+            cache_pages=args.cache_pages,
+            n_tenants=args.tenants,
+            dynamic=(plan == "dynamic"),
+            universe_pages=args.universe_pages,
+            base_iops=args.base_iops,
+            diurnal_amplitude=args.diurnal_amplitude,
+            diurnal_period_s=args.diurnal_period,
+            burst_prob=args.burst_prob,
+            burst_factor=args.burst_factor,
+            duration_s=args.duration,
+            **({"max_requests": args.max_requests}
+               if args.max_requests is not None else {}),
+            epoch_s=args.epoch,
+            realloc_period=args.realloc_period,
+            min_fraction=args.min_fraction,
+            ewma_alpha=args.ewma_alpha,
+            ways=args.ways,
+            flash_model=args.flash,
+            tenant_rows=want_tenants,
+            seed=args.seed,
+            label=plan,
+        )
+        for plan in plans
+    ]
+    engine = SweepEngine(
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        force=args.force,
+        progress=_print_progress if args.progress else None,
+    )
+    start = time.time()
+    result = engine.run(cells)
+    rows = [dict(r) for r in result.rows]
+    table = [{k: v for k, v in row.items() if k != "per_tenant"}
+             for row in rows]
+    print(render_table(table))
+    if args.per_tenant:
+        for row in rows:
+            tenants = row.get("per_tenant", [])
+            print(f"\nper-tenant ({row['plan']}, first {min(len(tenants), 16)} "
+                  f"of {len(tenants)}):")
+            print(render_table(tenants[:16]))
+    print(f"({len(cells)} cells in {time.time() - start:.1f}s, "
+          f"jobs={args.jobs})")
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(rows, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(rows)} serve rows to {args.report_out}")
     return 0
 
 

@@ -1,0 +1,124 @@
+"""Serve-sweep cell executor and grid builder.
+
+Harness glue for :mod:`repro.serve` (the layering contract, RPR102,
+keeps the simulation layer from importing the harness): one ``serve``
+cell composes a deterministic tenant fleet, partitions the SSD cache
+per :class:`~repro.cache.partition.PartitionPlan`, drives the composed
+stream through the partitioned cache, and reports the aggregate row
+with fairness/isolation and per-tenant endurance columns.
+
+Determinism follows the sweep discipline: the composer is seeded with
+the cell's effective seed and every tenant substream is sha256-derived
+from it, so rows are byte-identical for any ``--jobs`` count.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..cache.base import CacheConfig
+from ..cache.partition import PartitionedCache, PartitionPlan
+from ..raid.array import RAIDArray
+from ..serve.composer import WorkloadComposer
+from ..serve.driver import ServeDriver
+from ..serve.tenants import make_tenant_fleet
+from .runner import build_policy
+from .sweep import SweepCell
+
+#: ``SweepCell.params`` keys that shape the tenant fleet.
+FLEET_KEYS = (
+    "universe_pages",
+    "base_iops",
+    "diurnal_amplitude",
+    "diurnal_period_s",
+    "burst_prob",
+    "burst_factor",
+)
+
+#: ``SweepCell.params`` keys that shape the partition plan.
+PLAN_KEYS = ("realloc_period", "min_fraction", "ewma_alpha")
+
+#: ``SweepCell.params`` keys consumed by the driver/run (not CacheConfig).
+RUN_KEYS = ("duration_s", "max_requests", "epoch_s", "window_s",
+            "gap_stride", "tenant_rows")
+
+
+def _make_raid(total_pages: int) -> RAIDArray:
+    """A RAID-5 array sized for the composed address space."""
+    data_disks = 4
+    pages_per_disk = max(64, -(-(total_pages + 1) // data_disks) + 16)
+    pages_per_disk = -(-pages_per_disk // 16) * 16
+    return RAIDArray(ndisks=5, chunk_pages=16, pages_per_disk=pages_per_disk)
+
+
+def run_serve_cell(cell: SweepCell) -> dict[str, Any]:
+    """Execute one serve cell; returns its (deterministic) row."""
+    params = dict(cell.params)
+    n_tenants = params.pop("n_tenants")
+    dynamic = bool(params.pop("dynamic", False))
+    fleet_kwargs = {k: params.pop(k) for k in FLEET_KEYS if k in params}
+    plan_kwargs = {k: params.pop(k) for k in PLAN_KEYS if k in params}
+    run_kwargs = {k: params.pop(k) for k in RUN_KEYS if k in params}
+    tenant_rows = bool(run_kwargs.pop("tenant_rows", False))
+    seed = cell.effective_seed()
+
+    fleet = make_tenant_fleet(n_tenants, **fleet_kwargs)
+    composer = WorkloadComposer(
+        fleet, seed=seed, epoch_s=run_kwargs.pop("epoch_s", 60.0)
+    )
+    plan = PartitionPlan.equal(n_tenants, dynamic=dynamic, **plan_kwargs)
+    raid = _make_raid(composer.total_pages)
+    policies = [
+        build_policy(
+            cell.policy,
+            CacheConfig(cache_pages=quota, seed=seed, **params),
+            raid,
+        )
+        for quota in plan.quotas(cell.cache_pages)
+    ]
+    cache = PartitionedCache(policies, plan, total_pages=cell.cache_pages)
+    driver = ServeDriver(
+        composer,
+        cache,
+        label=cell.label or ("dynamic" if dynamic else "static"),
+        window_s=run_kwargs.pop("window_s", 60.0),
+        gap_stride=run_kwargs.pop("gap_stride", 64),
+    )
+    report = driver.run(**run_kwargs)
+    row: dict[str, Any] = {
+        "plan": "dynamic" if dynamic else "static",
+        "policy": cell.policy,
+    }
+    row.update(report.row())
+    if tenant_rows:
+        row["per_tenant"] = report.tenant_rows()
+    return row
+
+
+def serve_cell(
+    policy: str = "wt",
+    cache_pages: int = 1024,
+    n_tenants: int = 8,
+    dynamic: bool = False,
+    seed: int | None = None,
+    label: str | None = None,
+    **params: Any,
+) -> SweepCell:
+    """Convenience constructor for a ``serve`` sweep cell.
+
+    ``dynamic`` selects ECI-Cache-style reallocation against the static
+    even split; fleet shape (:data:`FLEET_KEYS`), plan knobs
+    (:data:`PLAN_KEYS`), run bounds (:data:`RUN_KEYS`) and any remaining
+    :class:`~repro.cache.base.CacheConfig` fields pass through
+    ``params``.  ``seed=None`` (the default) opts into hash-derived
+    per-cell seeding.
+    """
+    return SweepCell(
+        kind="serve",
+        policy=policy,
+        cache_pages=cache_pages,
+        seed=seed,
+        label=label,
+        params=tuple({"n_tenants": n_tenants, "dynamic": dynamic,
+                      **params}.items()),
+    )

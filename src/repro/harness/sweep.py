@@ -46,7 +46,8 @@ ENGINE_VERSION = 1
 TRACE_KINDS = ("workload", "zipf", "uniform", "sequential")
 
 #: Cell kinds (see the ``_run_*_cell`` executors below).
-CELL_KINDS = ("sim", "replay", "fio", "stats", "faults", "reliability")
+CELL_KINDS = ("sim", "replay", "fio", "stats", "faults", "reliability",
+              "serve")
 
 #: ``params`` keys consumed by the replay executor (not CacheConfig fields).
 _REPLAY_KEYS = ("max_requests", "max_seconds", "time_scale")
@@ -302,6 +303,12 @@ def _run_reliability_cell(cell: SweepCell) -> dict[str, Any]:
     return run_reliability_cell(cell)
 
 
+def _run_serve_cell(cell: SweepCell) -> dict[str, Any]:
+    from .servesweep import run_serve_cell
+
+    return run_serve_cell(cell)
+
+
 _CELL_RUNNERS: dict[str, Callable[[SweepCell], dict[str, Any]]] = {
     "sim": _run_sim_cell,
     "replay": _run_replay_cell,
@@ -309,6 +316,7 @@ _CELL_RUNNERS: dict[str, Callable[[SweepCell], dict[str, Any]]] = {
     "stats": _run_stats_cell,
     "faults": _run_faults_cell,
     "reliability": _run_reliability_cell,
+    "serve": _run_serve_cell,
 }
 
 

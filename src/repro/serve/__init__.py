@@ -1,0 +1,22 @@
+"""Multi-tenant serving: workload composition and the multi-stream driver.
+
+Simulation-layer package: composes N deterministic tenant streams into
+one time-ordered request stream (no materialized mega-trace) and drives
+it through a per-tenant partitioned SSD cache with O(1) online metrics.
+"""
+
+from .composer import ComposedBatch, WorkloadComposer, substream_seed
+from .driver import ServeDriver, ServeMetrics, ServeReport, jain_fairness
+from .tenants import TenantSpec, make_tenant_fleet
+
+__all__ = [
+    "ComposedBatch",
+    "ServeDriver",
+    "ServeMetrics",
+    "ServeReport",
+    "TenantSpec",
+    "WorkloadComposer",
+    "jain_fairness",
+    "make_tenant_fleet",
+    "substream_seed",
+]

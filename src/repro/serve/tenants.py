@@ -1,0 +1,134 @@
+"""Tenant stream specifications for the multi-tenant workload composer.
+
+A :class:`TenantSpec` describes one tenant's access pattern — zipf
+popularity skew, read ratio, diurnal intensity envelope, and burst
+behaviour — without materializing anything.  :func:`make_tenant_fleet`
+builds deterministic fleets of such specs with phase-staggered diurnal
+envelopes, the churn shape the static-vs-dynamic partitioning sweep
+exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["TenantSpec", "make_tenant_fleet"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload parameters.
+
+    The request rate at time ``t`` follows a diurnal envelope::
+
+        rate(t) = base_iops * (1 + diurnal_amplitude *
+                               sin(2*pi*(t / diurnal_period_s + phase)))
+
+    optionally multiplied by ``burst_factor`` in epochs where the
+    tenant's burst draw fires (probability ``burst_prob`` per epoch).
+    """
+
+    tenant_id: str
+    universe_pages: int
+    zipf_alpha: float = 0.9
+    read_ratio: float = 0.7
+    base_iops: float = 100.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 86_400.0
+    phase: float = 0.0
+    burst_prob: float = 0.0
+    burst_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ConfigError("TenantSpec.tenant_id must be a non-empty string")
+        if self.universe_pages < 1:
+            raise ConfigError(
+                f"TenantSpec.universe_pages must be >= 1, got "
+                f"{self.universe_pages} (tenant {self.tenant_id!r})"
+            )
+        if not self.zipf_alpha > 0.0:
+            raise ConfigError(
+                f"TenantSpec.zipf_alpha must be positive, got "
+                f"{self.zipf_alpha} (tenant {self.tenant_id!r})"
+            )
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ConfigError(
+                f"TenantSpec.read_ratio must be in [0, 1], got "
+                f"{self.read_ratio} (tenant {self.tenant_id!r})"
+            )
+        if not self.base_iops > 0.0:
+            raise ConfigError(
+                f"TenantSpec.base_iops must be positive, got "
+                f"{self.base_iops} (tenant {self.tenant_id!r})"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError(
+                f"TenantSpec.diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude} (tenant {self.tenant_id!r})"
+            )
+        if not self.diurnal_period_s > 0.0:
+            raise ConfigError(
+                f"TenantSpec.diurnal_period_s must be positive, got "
+                f"{self.diurnal_period_s} (tenant {self.tenant_id!r})"
+            )
+        if not 0.0 <= self.phase < 1.0:
+            raise ConfigError(
+                f"TenantSpec.phase must be in [0, 1), got {self.phase} "
+                f"(tenant {self.tenant_id!r})"
+            )
+        if not 0.0 <= self.burst_prob <= 1.0:
+            raise ConfigError(
+                f"TenantSpec.burst_prob must be in [0, 1], got "
+                f"{self.burst_prob} (tenant {self.tenant_id!r})"
+            )
+        if not self.burst_factor >= 1.0:
+            raise ConfigError(
+                f"TenantSpec.burst_factor must be >= 1, got "
+                f"{self.burst_factor} (tenant {self.tenant_id!r})"
+            )
+
+
+#: Cycled per-tenant parameter palettes: mixed skews and read mixes so a
+#: fleet is heterogeneous without per-tenant configuration.
+_ALPHAS = (0.8, 0.95, 1.1, 1.25)
+_READ_RATIOS = (0.9, 0.7, 0.5, 0.8)
+
+
+def make_tenant_fleet(
+    n_tenants: int,
+    universe_pages: int = 4096,
+    base_iops: float = 100.0,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period_s: float = 3600.0,
+    burst_prob: float = 0.0,
+    burst_factor: float = 4.0,
+) -> tuple[TenantSpec, ...]:
+    """A deterministic heterogeneous fleet of ``n_tenants`` specs.
+
+    Zipf skew and read ratio cycle through fixed palettes; diurnal
+    phases are spread evenly over the fleet, so with a non-zero
+    amplitude the *set of currently-hot tenants* rotates through the
+    day — the churn that makes dynamic partitioning matter.
+    """
+    if n_tenants < 1:
+        raise ConfigError(
+            f"make_tenant_fleet.n_tenants must be >= 1, got {n_tenants}"
+        )
+    return tuple(
+        TenantSpec(
+            tenant_id=f"t{i:04d}",
+            universe_pages=universe_pages,
+            zipf_alpha=_ALPHAS[i % len(_ALPHAS)],
+            read_ratio=_READ_RATIOS[i % len(_READ_RATIOS)],
+            base_iops=base_iops,
+            diurnal_amplitude=diurnal_amplitude,
+            diurnal_period_s=diurnal_period_s,
+            phase=i / n_tenants,
+            burst_prob=burst_prob,
+            burst_factor=burst_factor,
+        )
+        for i in range(n_tenants)
+    )

@@ -1,6 +1,14 @@
-"""Metrics: latency recorders, summaries, reliability exposure."""
+"""Metrics: latency recorders, summaries, streaming estimators, exposure."""
 
 from .exposure import VulnerabilityExposure
 from .latency import LatencyRecorder, LatencySummary
+from .streaming import P2Quantile, StreamingQuantiles, WindowedThroughput
 
-__all__ = ["LatencyRecorder", "LatencySummary", "VulnerabilityExposure"]
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "P2Quantile",
+    "StreamingQuantiles",
+    "VulnerabilityExposure",
+    "WindowedThroughput",
+]

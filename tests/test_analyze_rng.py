@@ -194,3 +194,130 @@ class TestModuleScope:
             """,
         })
         assert check_rng_provenance(project) == []
+
+
+class TestServeSeedProvenance:
+    """RPR111: serve-layer streams must be seeded via sha256."""
+
+    def test_raw_seed_in_serve_is_rpr111(self, analyze_tree):
+        project = analyze_tree({
+            "serve/composer.py": """\
+                import numpy as np
+
+                class Composer:
+                    def cell(self, seed, epoch):
+                        rng = np.random.default_rng((seed, epoch))
+                        return rng.random()
+            """,
+        })
+        findings = check_rng_provenance(project)
+        assert codes(findings) == ["RPR111"]
+        assert "sha256" in findings[0].message
+
+    def test_unseeded_serve_stream_is_rpr111(self, analyze_tree):
+        project = analyze_tree({
+            "serve/composer.py": """\
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().random()
+            """,
+        })
+        assert codes(check_rng_provenance(project)) == ["RPR111"]
+
+    def test_inline_sha256_seed_is_clean(self, analyze_tree):
+        project = analyze_tree({
+            "serve/composer.py": """\
+                import hashlib
+
+                import numpy as np
+
+                def cell(seed, tid):
+                    digest = hashlib.sha256(f"{seed}:{tid}".encode())
+                    rng = np.random.default_rng(
+                        int(digest.hexdigest()[:16], 16)
+                    )
+                    return rng.random()
+            """,
+        })
+        assert check_rng_provenance(project) == []
+
+    def test_project_hashing_helper_is_clean(self, analyze_tree):
+        """A seed routed through a helper that transitively hashes."""
+        project = analyze_tree({
+            "serve/seeds.py": """\
+                import hashlib
+
+                def substream_seed(seed, tid):
+                    digest = hashlib.sha256(f"{seed}:{tid}".encode())
+                    return int(digest.hexdigest()[:16], 16)
+
+                def epoch_seed(seed, tid, epoch):
+                    return (substream_seed(seed, tid), epoch)
+            """,
+            "serve/composer.py": """\
+                import numpy as np
+
+                from .seeds import epoch_seed
+
+                def cell(seed, tid, epoch):
+                    rng = np.random.default_rng(epoch_seed(seed, tid, epoch))
+                    return rng.random()
+            """,
+        })
+        assert check_rng_provenance(project) == []
+
+    def test_local_name_carries_the_derivation(self, analyze_tree):
+        project = analyze_tree({
+            "serve/seeds.py": """\
+                import hashlib
+
+                def substream_seed(seed, tid):
+                    digest = hashlib.sha256(f"{seed}:{tid}".encode())
+                    return int(digest.hexdigest()[:16], 16)
+            """,
+            "serve/composer.py": """\
+                import numpy as np
+
+                from .seeds import substream_seed
+
+                def cell(seed, tid, epoch):
+                    sub = substream_seed(seed, tid)
+                    rng = np.random.default_rng((sub, epoch + 1))
+                    return rng.random()
+            """,
+        })
+        assert check_rng_provenance(project) == []
+
+    def test_hashed_self_method_is_clean(self, analyze_tree):
+        project = analyze_tree({
+            "serve/composer.py": """\
+                import hashlib
+
+                import numpy as np
+
+                class Composer:
+                    def _sub(self, tid):
+                        digest = hashlib.sha256(tid.encode())
+                        return int(digest.hexdigest()[:16], 16)
+
+                    def cell(self, tid):
+                        rng = np.random.default_rng(self._sub(tid))
+                        return rng.random()
+            """,
+        })
+        assert check_rng_provenance(project) == []
+
+    def test_raw_seed_outside_serve_is_not_rpr111(self, analyze_tree):
+        """The obligation is scoped: other layers keep plain derived
+        seeds (the fault scheduler's (seed, i) tuples stay legal)."""
+        project = analyze_tree({
+            "faults/sched.py": """\
+                import numpy as np
+
+                def cell(seed, epoch):
+                    rng = np.random.default_rng((seed, epoch))
+                    return rng.random()
+            """,
+        })
+        assert check_rng_provenance(project) == []

@@ -123,6 +123,14 @@ def test_checksum_is_order_sensitive_and_stable():
     assert _checksum(rows) != _checksum(rows[::-1])
 
 
+def test_compare_serve_report_is_checksum_gated_only():
+    # no "speedup" key: the ratio gate must not apply, only row drift
+    old = {"figure": "serve", "kind": "serve", "row_checksum": "sha256:aa"}
+    assert compare_reports(old, dict(old)) == []
+    drift = dict(old, row_checksum="sha256:bb")
+    assert any("rows changed" in p for p in compare_reports(old, drift))
+
+
 def test_geomean():
     assert _geomean([2.0, 8.0]) == pytest.approx(4.0)
     assert _geomean([5.0]) == pytest.approx(5.0)

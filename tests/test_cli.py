@@ -65,3 +65,39 @@ class TestRunCommand:
     def test_seed_flag_accepted(self, capsys):
         rc = cli_main(["run", "table1", "--scale", "0.001", "--seed", "7"])
         assert rc == 0
+
+
+class TestServeCommand:
+    _SMALL = [
+        "serve", "--tenants", "2", "--cache-pages", "256",
+        "--universe-pages", "256", "--base-iops", "10", "--duration", "120",
+        "--realloc-period", "500", "--min-fraction", "0.05",
+    ]
+
+    def test_serve_compares_static_and_dynamic(self, capsys):
+        rc = cli_main(self._SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "dynamic" in out
+        assert "fairness_jain" in out
+
+    def test_serve_per_tenant_tables(self, capsys):
+        rc = cli_main(self._SMALL + ["--per-tenant"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-tenant" in out
+        assert "quota_pages" in out
+
+    def test_serve_report_out(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "serve.json"
+        rc = cli_main(self._SMALL + ["--report-out", str(report)])
+        assert rc == 0
+        rows = json.loads(report.read_text())
+        assert {row["plan"] for row in rows} == {"static", "dynamic"}
+        assert all(row["per_tenant"] for row in rows)
+
+    def test_serve_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--plans", "static,bogus"])
