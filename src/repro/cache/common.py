@@ -15,6 +15,7 @@ counters and eviction behaviour are identical to the scalar loop.
 
 from __future__ import annotations
 
+from ..contracts import columnar
 from ..nvram.metabuffer import PageState
 from ..raid.array import FastAccounting, RAIDArray
 from ..traces.trace import Trace
@@ -132,6 +133,7 @@ class SetAssocPolicy(CachePolicy):
         """
         return False
 
+    @columnar()
     def _process_columnar(self, trace: Trace) -> bool:
         if self.ssd is not None or type(self.admission) is not AlwaysAdmit:
             return False
@@ -157,6 +159,10 @@ class SetAssocPolicy(CachePolicy):
             self._fast = None
         return True
 
+    @columnar(
+        dtypes={"chunk": "int64|uint64", "reads": "bool"},
+        shapes={"chunk": "(n,)", "reads": "(n,)"},
+    )
     def _columnar_chunk(self, chunk, reads) -> None:
         sets = self.sets
         mut0 = sets.mutations
@@ -200,6 +206,7 @@ class SetAssocPolicy(CachePolicy):
         """Counter-only mirror of :meth:`_read_hit`."""
         self.stats.ssd_reads += 1
 
+    @columnar(dtypes={"lbas": "list[int]"})
     def _bulk_read_hits(self, lbas: list[int]) -> None:
         """Retire a run of read hits: bulk counters, ordered LRU touches.
 
@@ -212,6 +219,7 @@ class SetAssocPolicy(CachePolicy):
         self.stats.ssd_reads += len(lbas)
         self.sets.touch_many(lbas)
 
+    @columnar(dtypes={"lba": "int"})
     def _write_fast(self, lba: int) -> None:  # pragma: no cover - gated off
         # Contract (RPR204): an override's interprocedural write-set must
         # stay inside the scalar write() write-set plus the FastAccounting

@@ -20,7 +20,7 @@ from typing import Any
 
 import numpy as np
 
-from ..contracts import mutates_membership
+from ..contracts import columnar, mutates_membership
 from ..errors import CacheError, ConfigError
 from ..nvram.metabuffer import PageState
 
@@ -124,10 +124,18 @@ class CacheSets:
     #: for any group_pages >= 1 (group <= lba); callers go scalar past it.
     MAX_VECTOR_LBA = (2**62) // _HASH_MULT
 
+    @columnar(
+        dtypes={"lbas": "int64|uint64", "return": "int64"},
+        shapes={"lbas": "(n,)", "return": "(n,)"},
+    )
     def set_of_batch(self, lbas: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`set_of` for an int64 address batch."""
         return ((lbas // self.group_pages) * _HASH_MULT) % self.n_sets
 
+    @columnar(
+        dtypes={"lbas": "int64|uint64", "return": "bool"},
+        shapes={"lbas": "(n,)", "return": "(n,)"},
+    )
     def classify(self, lbas: np.ndarray) -> np.ndarray:
         """Batched hit/miss classification against the DAZ directory.
 
@@ -176,6 +184,7 @@ class CacheSets:
         line = self._index[lba]
         self._sets[line.set_idx].entries.move_to_end(lba)
 
+    @columnar(dtypes={"lbas": "list[int]"})
     def touch_many(self, lbas: Iterable[int]) -> None:
         """:meth:`touch` a batch of resident lines, in order."""
         index = self._index

@@ -24,16 +24,24 @@ RPR204     fast-path write-set exceeds scalar write-set + delta surface
 RPR205     sweep-worker-reachable code mutates module-level state
 RPR206     ``lru_cache`` on sweep-worker-reachable code (unallowlisted)
 RPR207     power-failure recovery reads outside the crash-surviving surface
+RPR301     index column leaves int64 (dtype-flow taint / @columnar breach)
+RPR302     unsafe cast (float truncation / unit-carrying narrow)
+RPR303     in-place write through a membership-mirror view
+RPR304     boolean-mask misuse (``and``/``or``, chained fancy assignment)
+RPR305     scalar loop over an ndarray in a hot module
 =========  ============================================================
 
 The analyzer is held to the determinism bar it enforces: findings and
 every export (JSON, DOT, the generated architecture map) are invariant
 under file-discovery order.  Shared finding/baseline machinery comes
-from :mod:`repro.devtools.lint`.
+from :mod:`repro.devtools.lint`, and inline suppressions use the shared
+``# kdd-analyze: disable=RPRnnn`` grammar
+(:mod:`repro.devtools.analyze.suppress`).
 """
 
 from __future__ import annotations
 
+from .columnar import ColumnarAnalysis, check_columnar, columnar_report
 from .deadcode import check_dead_public, check_unused_imports
 from .effects import EffectAnalysis, check_effects, effects_report
 from .excflow import ExceptionFlow, check_contracts
@@ -41,9 +49,12 @@ from .graphio import architecture_md, graph_dot, graph_json
 from .layers import DEFAULT_LAYERS, LayerSpec, check_layering
 from .project import ImportEdge, ModuleInfo, Project
 from .rngflow import check_rng_provenance
+from .suppress import ANALYZER_CODES, apply_suppressions
 from .unitflow import check_units
 
 __all__ = [
+    "ANALYZER_CODES",
+    "ColumnarAnalysis",
     "DEFAULT_LAYERS",
     "EffectAnalysis",
     "ExceptionFlow",
@@ -51,7 +62,9 @@ __all__ = [
     "LayerSpec",
     "ModuleInfo",
     "Project",
+    "apply_suppressions",
     "architecture_md",
+    "check_columnar",
     "check_contracts",
     "check_dead_public",
     "check_effects",
@@ -59,6 +72,7 @@ __all__ = [
     "check_rng_provenance",
     "check_units",
     "check_unused_imports",
+    "columnar_report",
     "effects_report",
     "graph_dot",
     "graph_json",

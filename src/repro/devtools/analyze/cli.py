@@ -13,9 +13,10 @@ import sys
 from collections import Counter
 from pathlib import Path
 
-from ...errors import ReproError
+from ...errors import ConfigError, ReproError
 from ..lint.baseline import apply_baseline, load_baseline, write_baseline
 from ..lint.findings import Finding
+from .columnar import check_columnar, columnar_report
 from .deadcode import check_dead_public, check_unused_imports
 from .effects import check_effects, effects_report
 from .excflow import check_contracts
@@ -23,6 +24,7 @@ from .graphio import architecture_md, graph_dot, graph_json
 from .layers import check_layering
 from .project import Project
 from .rngflow import check_rng_provenance
+from .suppress import COLUMNAR_CODES, EFFECTS_CODES, apply_suppressions
 from .unitflow import check_units
 
 _DEFAULT_TARGET = "src/repro"
@@ -36,16 +38,23 @@ _ANALYSES = (
     check_contracts,
     check_unused_imports,
     check_effects,
+    check_columnar,
 )
 
 
 def analyze_project(project: Project, dead_code: bool = False) -> list[Finding]:
-    """Run every gating analysis over one parsed :class:`Project`."""
+    """Run every gating analysis over one parsed :class:`Project`.
+
+    Inline ``# kdd-analyze: disable=RPRnnn`` suppressions are applied
+    here (with unused-suppression meta-findings), so every caller —
+    CLI, CI gate, tests — sees the same post-suppression view.
+    """
     findings: list[Finding] = []
     for analysis in _ANALYSES:
         findings.extend(analysis(project))
     if dead_code:
         findings.extend(check_dead_public(project))
+    findings = apply_suppressions(project, findings)
     return sorted(findings, key=Finding.sort_key)
 
 
@@ -89,6 +98,15 @@ def _parser() -> argparse.ArgumentParser:
         "points, sweep reachability) as stable JSON",
     )
     parser.add_argument(
+        "--columnar", action="store_true",
+        help="run only the columnar dtype/shape contracts (RPR301-RPR305)",
+    )
+    parser.add_argument(
+        "--columnar-report", metavar="FILE", type=Path, default=None,
+        help="write the declared columnar contract surface (@columnar "
+        "declarations, hot modules, choke points) as stable JSON",
+    )
+    parser.add_argument(
         "--export-dot", metavar="FILE", type=Path, default=None,
         help="write the package-level import graph as Graphviz DOT",
     )
@@ -123,8 +141,16 @@ def main(argv: list[str] | None = None) -> int:
     paths = [Path(p) for p in (args.paths or [_DEFAULT_TARGET])]
     try:
         project = Project.load(paths)
-        if args.effects:
-            findings = check_effects(project)
+        if args.effects or args.columnar:
+            findings = []
+            active: frozenset[str] = frozenset()
+            if args.effects:
+                findings.extend(check_effects(project))
+                active |= EFFECTS_CODES
+            if args.columnar:
+                findings.extend(check_columnar(project))
+                active |= COLUMNAR_CODES
+            findings = apply_suppressions(project, findings, active)
         else:
             findings = analyze_project(project, dead_code=args.dead_code)
 
@@ -133,11 +159,17 @@ def main(argv: list[str] | None = None) -> int:
             (args.export_json, graph_json),
             (args.write_docs, architecture_md),
             (args.effects_report, effects_report),
+            (args.columnar_report, columnar_report),
         )
         for target, render in exports:
             if target is not None:
-                target.parent.mkdir(parents=True, exist_ok=True)
-                target.write_text(render(project), encoding="utf-8")
+                try:
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    target.write_text(render(project), encoding="utf-8")
+                except OSError as exc:
+                    raise ConfigError(
+                        f"cannot write report {target}: {exc}"
+                    ) from exc
 
         if args.update_baseline:
             count = write_baseline(args.baseline, findings)

@@ -20,13 +20,26 @@ from .rules import REGISTRY, Rule, all_rules
 
 #: Inline suppression comment: a hash, the tool name, a colon, then
 #: ``disable=`` followed by one code, a comma list, or ``all`` (see the
-#: examples in :func:`parse_suppressions`'s docstring).
-_SUPPRESS_RE = re.compile(r"#\s*kdd-lint:\s*disable=([A-Za-z0-9,\s]+)")
+#: examples in :func:`parse_suppressions`'s docstring).  One syntax is
+#: shared by every checker — kdd-lint reads ``kdd-lint:`` comments and
+#: the whole-program analyzer reads ``kdd-analyze:`` ones — so per-tool
+#: patterns are compiled on demand from the same template.
+_SUPPRESS_RES: dict[str, re.Pattern[str]] = {}
 
 _ALL = "all"
 
 
-def parse_suppressions(source: str) -> dict[int, list[str]]:
+def _suppress_re(tool: str) -> re.Pattern[str]:
+    pattern = _SUPPRESS_RES.get(tool)
+    if pattern is None:
+        pattern = re.compile(
+            rf"#\s*{re.escape(tool)}:\s*disable=([A-Za-z0-9,\s]+)"
+        )
+        _SUPPRESS_RES[tool] = pattern
+    return pattern
+
+
+def parse_suppressions(source: str, tool: str = "kdd-lint") -> dict[int, list[str]]:
     """Map line number -> suppressed codes, parsed from comment tokens.
 
     Recognised forms (always on the line of the finding)::
@@ -34,11 +47,15 @@ def parse_suppressions(source: str) -> dict[int, list[str]]:
         x = time.time()        # kdd-lint: disable=RPR002
         y = {a} | {b}          # kdd-lint: disable=RPR004,RPR007
         z = random.random()    # kdd-lint: disable=all
+        idx = arr.astype(d)    # kdd-analyze: disable=RPR302
 
-    Comments are found with :mod:`tokenize` rather than substring
-    matching, so ``kdd-lint: disable=`` inside a string literal is not
-    treated as a suppression.  Unparseable source yields no
-    suppressions (the engine reports the syntax error separately).
+    ``tool`` selects which checker's comments to read; the analyzer
+    passes ``"kdd-analyze"`` and gets the exact same grammar and
+    unused-suppression semantics as kdd-lint.  Comments are found with
+    :mod:`tokenize` rather than substring matching, so a disable
+    marker inside a string literal is not treated as a suppression.
+    Unparseable source yields no suppressions (the engine reports the
+    syntax error separately).
     """
     out: dict[int, list[str]] = {}
     reader = io.StringIO(source).readline
@@ -46,10 +63,11 @@ def parse_suppressions(source: str) -> dict[int, list[str]]:
         tokens = list(tokenize.generate_tokens(reader))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return out
+    pattern = _suppress_re(tool)
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
-        match = _SUPPRESS_RE.search(tok.string)
+        match = pattern.search(tok.string)
         if match is None:
             continue
         codes = [c.strip() for c in match.group(1).split(",")]

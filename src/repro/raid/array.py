@@ -26,6 +26,7 @@ from enum import Enum
 
 import numpy as np
 
+from ..contracts import columnar
 from ..errors import ConfigError, DegradedError, RaidError
 from .layout import PageLocation, RaidLayout, RaidLevel
 from .parity import compute_p, compute_q, xor_blocks
@@ -133,10 +134,12 @@ class FastAccounting:
         self.write_data_reads, self.write_parity_reads = reads
         self.write_data_writes, self.write_parity_writes = writes
 
+    @columnar(dtypes={"npages": "int"})
     def read(self, npages: int = 1) -> None:
         """Account ``npages`` independent single-page logical reads."""
         self.counters.data_reads += npages
 
+    @columnar(dtypes={"npages": "int"})
     def write(self, npages: int = 1) -> None:
         """Account ``npages`` independent single-page parity-updating writes."""
         c = self.counters
@@ -145,6 +148,7 @@ class FastAccounting:
         c.data_writes += npages * self.write_data_writes
         c.parity_writes += npages * self.write_parity_writes
 
+    @columnar(dtypes={"stripe": "int"})
     def write_delayed(self, stripe: int) -> None:
         """Account one ``write_without_parity_update``; marks parity stale."""
         self.counters.data_writes += 1

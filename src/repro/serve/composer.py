@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import columnar
 from ..errors import ConfigError, TraceFormatError, raises
 from ..traces.record import empty_records
 from ..traces.synthetic import _zipf_cdf
@@ -179,6 +180,7 @@ class WorkloadComposer:
         self._scatter_cache[idx] = (mult, offset)
         return mult, offset
 
+    @columnar(dtypes={"return": "(float64, uint64, bool)"})
     def _tenant_epoch(
         self, idx: int, epoch: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
@@ -223,6 +225,14 @@ class WorkloadComposer:
 
     # -- composition --------------------------------------------------------
 
+    @columnar(
+        dtypes={
+            "times": "float64",
+            "tenant": "int32",
+            "lba": "uint64",
+            "is_read": "bool",
+        }
+    )
     def epoch_batch(self, epoch: int) -> ComposedBatch | None:
         """All tenants' requests for one epoch, merged by arrival time."""
         times_parts: list[np.ndarray] = []
@@ -250,6 +260,7 @@ class WorkloadComposer:
             is_read=np.concatenate(read_parts)[order],
         )
 
+    @columnar()
     def compose(
         self,
         duration_s: float | None = None,

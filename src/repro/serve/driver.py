@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cache.partition import PartitionedCache
+from ..contracts import columnar
 from ..errors import ConfigError, SimulationError, raises
 from ..stats.streaming import StreamingQuantiles, WindowedThroughput
 from .composer import ComposedBatch, WorkloadComposer
@@ -80,6 +81,7 @@ class ServeMetrics:
         )
 
     @raises(SimulationError)
+    @columnar(dtypes={"gaps": "float64"})
     def observe_batch(self, batch: ComposedBatch) -> None:
         n = len(self.accesses)
         self.accesses += np.bincount(batch.tenant, minlength=n)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import columnar
 from ..errors import ConfigError, SimulationError
 
 __all__ = ["P2Quantile", "StreamingQuantiles", "WindowedThroughput"]
@@ -148,6 +149,7 @@ class StreamingQuantiles:
         for _, est in self._estimators:
             est.add(x)
 
+    @columnar(dtypes={"values": "float64"}, shapes={"values": "(n,)"})
     def add_many(self, values: np.ndarray) -> None:
         for x in values.tolist():
             for _, est in self._estimators:
@@ -198,6 +200,7 @@ class WindowedThroughput:
     def state_bytes(self) -> int:
         return 6 * 8 + _OBJECT_OVERHEAD
 
+    @columnar(dtypes={"times": "float64"})
     def observe_batch(self, times: np.ndarray) -> None:
         if times.size == 0:
             return

@@ -118,7 +118,11 @@ def working_set_sizes(trace: Trace, window: float) -> np.ndarray:
     times = np.repeat(trace.records["time"], npages)
     if len(times) == 0:
         return np.zeros(0, dtype=np.int64)
-    bins = ((times - times[0]) / window).astype(np.int64)
+    # floor_divide, not a truncating cast: times are non-decreasing so
+    # the offsets are non-negative and the two agree, but truncation
+    # toward zero would silently mis-bin if that precondition ever
+    # weakened (RPR302).
+    bins = np.floor_divide(times - times[0], window).astype(np.int64)
     out = np.zeros(int(bins[-1]) + 1, dtype=np.int64)
     for b in range(len(out)):
         mask = bins == b

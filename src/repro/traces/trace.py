@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import columnar
 from ..errors import ConfigError, TraceFormatError
 from ..units import DEFAULT_PAGE_SIZE
 from .record import IO_DTYPE, IORequest
@@ -119,6 +120,7 @@ class Trace:
         ends = self._records["lba"] + self._records["npages"]
         return int(ends.max())
 
+    @columnar(dtypes={"return": "(uint64, bool)"})
     def page_accesses(self) -> tuple[np.ndarray, np.ndarray]:
         """Expand requests to per-page accesses.
 

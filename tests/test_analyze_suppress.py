@@ -1,0 +1,206 @@
+"""Shared inline suppressions and the analyzer CLI surface.
+
+One suppression grammar serves both checkers: kdd-lint reads
+``# kdd-lint: disable=...`` comments and the whole-program analyzer
+reads ``# kdd-analyze: disable=...`` through the same parser
+(:func:`repro.devtools.lint.engine.parse_suppressions`).  These tests
+pin the grammar sharing, the unused-suppression meta-findings, the
+family scoping of filtered runs, and the CLI exit discipline for the
+``--columnar`` / report-export flags.
+"""
+
+import json
+from pathlib import Path
+
+from repro.devtools.analyze.cli import main as analyze_main
+from repro.devtools.analyze.columnar import check_columnar
+from repro.devtools.analyze.suppress import (
+    ANALYZER_CODES,
+    COLUMNAR_CODES,
+    EFFECTS_CODES,
+    FLOW_CODES,
+    apply_suppressions,
+)
+from repro.devtools.lint.engine import lint_source, parse_suppressions
+
+from tests.analyze_fixtures import write_fixture_tree
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestSharedGrammar:
+    def test_tool_parameter_selects_the_comment_tag(self):
+        source = (
+            "a = 1  # kdd-lint: disable=RPR002\n"
+            "b = 2  # kdd-analyze: disable=RPR302\n"
+        )
+        assert parse_suppressions(source) == {1: ["RPR002"]}
+        assert parse_suppressions(source, tool="kdd-analyze") == \
+            {2: ["RPR302"]}
+
+    def test_comma_lists_and_all_parse_identically(self):
+        source = "x = 1  # kdd-analyze: disable=RPR301, RPR303\ny = 2  # kdd-analyze: disable=all\n"
+        sup = parse_suppressions(source, tool="kdd-analyze")
+        assert sup == {1: ["RPR301", "RPR303"], 2: ["all"]}
+
+    def test_marker_inside_string_literal_is_not_a_suppression(self):
+        source = 's = "# kdd-analyze: disable=RPR301"\n'
+        assert parse_suppressions(source, tool="kdd-analyze") == {}
+
+    def test_lint_ignores_analyzer_comments(self):
+        # An analyzer suppression must not show up as an unused
+        # kdd-lint suppression (or vice versa).
+        findings = lint_source(
+            "x = 1  # kdd-analyze: disable=RPR301\n", relpath="core/x.py"
+        )
+        assert findings == []
+
+
+class TestAnalyzerSuppressions:
+    def test_suppressed_finding_is_dropped(self, analyze_tree):
+        project = analyze_tree({
+            "core/flow.py": """\
+                import numpy as np
+
+                def compact(lbas: np.ndarray):
+                    return lbas.astype(np.int32)  # kdd-analyze: disable=RPR301
+            """,
+        })
+        raw = check_columnar(project)
+        assert codes(raw) == ["RPR301"]
+        assert apply_suppressions(project, raw) == []
+
+    def test_disable_all_waives_the_line(self, analyze_tree):
+        project = analyze_tree({
+            "core/flow.py": """\
+                import numpy as np
+
+                def compact(lbas: np.ndarray):
+                    return lbas.astype(np.int32)  # kdd-analyze: disable=all
+            """,
+        })
+        assert apply_suppressions(project, check_columnar(project)) == []
+
+    def test_unused_suppression_is_reported(self, analyze_tree):
+        project = analyze_tree({
+            "core/flow.py": """\
+                import numpy as np
+
+                def widen(lbas: np.ndarray):
+                    return lbas.astype(np.uint64)  # kdd-analyze: disable=RPR302
+            """,
+        })
+        findings = apply_suppressions(project, check_columnar(project))
+        assert codes(findings) == ["RPR000"]
+        assert "unused suppression of RPR302" in findings[0].message
+
+    def test_unknown_rule_is_reported(self, analyze_tree):
+        project = analyze_tree({
+            "core/flow.py": """\
+                x = 1  # kdd-analyze: disable=RPR999
+            """,
+        })
+        findings = apply_suppressions(project, [])
+        assert codes(findings) == ["RPR000"]
+        assert "unknown analyzer rule RPR999" in findings[0].message
+
+    def test_family_scoping_of_unused_reporting(self, analyze_tree):
+        # A RPR104 (unit-flow) suppression is out of scope for a
+        # --columnar-only run: neither applied nor called unused.
+        project = analyze_tree({
+            "core/flow.py": """\
+                x = 1  # kdd-analyze: disable=RPR104
+            """,
+        })
+        assert apply_suppressions(project, [], COLUMNAR_CODES) == []
+        full = apply_suppressions(project, [], ANALYZER_CODES)
+        assert codes(full) == ["RPR000"]
+        assert "unused suppression of RPR104" in full[0].message
+
+    def test_code_families_partition_the_rule_space(self):
+        assert FLOW_CODES & EFFECTS_CODES == frozenset()
+        assert FLOW_CODES & COLUMNAR_CODES == frozenset()
+        assert EFFECTS_CODES & COLUMNAR_CODES == frozenset()
+        assert COLUMNAR_CODES == frozenset(
+            {"RPR301", "RPR302", "RPR303", "RPR304", "RPR305"}
+        )
+        assert ANALYZER_CODES == FLOW_CODES | EFFECTS_CODES | COLUMNAR_CODES
+
+    def test_real_tree_has_no_unused_analyzer_suppressions(self):
+        # Every inline analyzer exception in src/repro must still be
+        # load-bearing; rot shows up here instead of in a baseline.
+        from repro.devtools.analyze import Project
+
+        project = Project.load([SRC_REPRO])
+        findings = apply_suppressions(project, check_columnar(project))
+        assert [f for f in findings if f.code == "RPR000"] == []
+
+
+class TestColumnarCli:
+    def _violating_tree(self, tmp_path):
+        # One columnar violation plus one flow violation (an unused
+        # import), to tell a family-filtered run from a full one.
+        return write_fixture_tree(tmp_path, {
+            "core/flow.py": """\
+                import json
+                import numpy as np
+
+                def compact(lbas: np.ndarray):
+                    return lbas.astype(np.int32)
+            """,
+        })
+
+    def test_columnar_flag_runs_only_the_columnar_family(
+        self, tmp_path, capsys
+    ):
+        root = self._violating_tree(tmp_path)
+        rc = analyze_main(["--columnar", "--format", "json", str(root)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["counts"]) == {"RPR301"}
+
+    def test_default_run_includes_both_families(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        rc = analyze_main(["--format", "json", str(root)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["counts"]) == {"RPR109", "RPR301"}
+
+    def test_columnar_report_export(self, tmp_path, capsys):
+        target = tmp_path / "columnar-report.json"
+        rc = analyze_main(
+            ["--columnar-report", str(target), str(SRC_REPRO)]
+        )
+        assert rc == 0
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        assert doc["version"] == 1
+        assert sorted(doc["rules"]) == \
+            ["RPR301", "RPR302", "RPR303", "RPR304", "RPR305"]
+        assert doc["declarations"]
+
+    def test_unwritable_columnar_report_exits_2(self, tmp_path, capsys):
+        # A path whose parent is a regular file cannot be created; the
+        # CLI must fail with a ConfigError naming the path — exit 2,
+        # no traceback.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("", encoding="utf-8")
+        target = blocker / "columnar-report.json"
+        rc = analyze_main(["--columnar-report", str(target), str(SRC_REPRO)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert f"cannot write report {target}" in err
+        assert "Traceback" not in err
+
+    def test_unwritable_effects_report_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("", encoding="utf-8")
+        target = blocker / "effects-report.json"
+        rc = analyze_main(["--effects-report", str(target), str(SRC_REPRO)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert f"cannot write report {target}" in err
+        assert "Traceback" not in err

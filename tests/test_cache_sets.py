@@ -240,6 +240,39 @@ def test_property_mirror_never_stale(ops):
     cs.check_invariants()
 
 
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.data(),
+    group_pages=st.sampled_from([64, 512, 4096]),
+)
+def test_property_batch_paths_exact_above_2_31(data, group_pages):
+    """``set_of_batch``/``classify`` agree with the scalar path for huge LBAs.
+
+    The scalar hash runs in arbitrary-precision python ints while the
+    batch path runs in int64; they must be bit-exact for every address
+    the int64 hash can take — including addresses past 2**31, where a
+    silent int32 narrowing anywhere in the columnar pipeline (the
+    RPR301 hazard) would wrap and misplace pages.  ``MAX_VECTOR_LBA``
+    is the conservative ``group_pages=1`` bound; the safe bound for a
+    real geometry scales by ``group_pages``, which is what puts the
+    probed range above 2**31.
+    """
+    bound = CacheSets.MAX_VECTOR_LBA * group_pages
+    assert bound > 2**31
+    lbas = data.draw(st.lists(
+        st.integers(2**31, bound), min_size=1, max_size=40, unique=True,
+    ))
+    cs = CacheSets(cache_pages=256, ways=8, group_pages=group_pages)
+    arr = np.array(lbas, dtype=np.int64)
+    scalar_sets = np.array([cs.set_of(lba) for lba in lbas], dtype=np.int64)
+    assert np.array_equal(cs.set_of_batch(arr), scalar_sets)
+    for lba in lbas[: cs.ways]:
+        cs.alloc(lba, PageState.CLEAN)  # distinct lbas; None if set full
+    truth = np.array([lba in cs for lba in lbas])
+    assert truth[0]  # the first alloc into an empty cache always lands
+    assert np.array_equal(cs.classify(arr), truth)
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     ops=st.lists(

@@ -108,6 +108,28 @@ class TestWorkingSet:
         with pytest.raises(ConfigError):
             working_set_sizes(trace_from_pages([1]), window=0)
 
+    def test_wss_bins_by_floored_offset(self):
+        """Regression pin: binning floors the time offset (RPR302 fix).
+
+        The bin index must be ``floor((t - t0) / window)`` — computed
+        via ``np.floor_divide``, never a bare truncating ``astype`` —
+        and every access must land in exactly one bin.
+        """
+        tr = trace_from_pages([1, 2, 3, 4])  # times 0, 1, 2, 3
+        wss = working_set_sizes(tr, window=0.4)
+        offsets = tr.records["time"] - tr.records["time"][0]
+        expected_bins = np.floor_divide(offsets, 0.4).astype(np.int64)
+        assert len(wss) == int(expected_bins[-1]) + 1
+        occupied = sorted(np.flatnonzero(wss).tolist())
+        assert occupied == sorted(set(expected_bins.tolist()))
+        assert int(wss.sum()) == 4
+
+    def test_wss_fractional_window_exact_counts(self):
+        # times 0..5 with window 2.5: bins floor to [0, 0, 0, 1, 1, 2]
+        tr = trace_from_pages([1, 1, 2, 3, 3, 3])
+        wss = working_set_sizes(tr, window=2.5)
+        assert wss.tolist() == [2, 1, 1]
+
 
 class TestWriteHitPotential:
     def test_all_rewrites_hit_big_cache(self):
